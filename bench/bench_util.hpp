@@ -1,0 +1,31 @@
+// Shared formatting helpers for the figure/table reproduction binaries.
+// Each bench prints a self-describing header (which paper artifact it
+// regenerates) followed by aligned rows; EXPERIMENTS.md records the
+// expected shapes.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace aurv::bench {
+
+inline void header(const char* artifact, const char* description) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", artifact);
+  std::printf("%s\n", description);
+  std::printf("================================================================\n");
+}
+
+inline void section(const char* title) { std::printf("\n-- %s --\n", title); }
+
+// printf-style row with trailing newline.
+inline void row(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  std::vprintf(format, args);  // NOLINT(clang-diagnostic-format-nonliteral)
+  va_end(args);
+  std::printf("\n");
+}
+
+}  // namespace aurv::bench

@@ -1,0 +1,57 @@
+// FIG-1 — regenerates the data behind Figure 1 of the paper: an instance
+// with different chiralities, its two coordinate systems, the bisectrix D
+// of the angle between the x-axes, and the canonical line L equidistant
+// from both origins, with the origin projections projA / projB.
+#include <cmath>
+
+#include "agents/instance.hpp"
+#include "bench_util.hpp"
+#include "geom/angle.hpp"
+#include "geom/canonical_line.hpp"
+
+int main() {
+  using namespace aurv;
+  bench::header("FIG-1: the canonical line (Definition 2.1)",
+                "Figure 1 geometry for a chi = -1 instance; plot-ready rows.");
+
+  // An instance shaped like the paper's Figure 1: B up-right of A, both
+  // x-axes visibly rotated, opposite chirality.
+  const agents::Instance instance(
+      /*r=*/0.5, geom::Vec2{3.0, 2.0}, /*phi=*/geom::kPi / 3, 1, 1, 0, -1);
+  std::printf("instance: %s\n", instance.to_string().c_str());
+
+  bench::section("coordinate systems (origin, x-axis direction, y-axis direction)");
+  const geom::Similarity pose = instance.b_pose();
+  const geom::Vec2 bx = pose.apply_linear(geom::Vec2{1, 0});
+  const geom::Vec2 by = pose.apply_linear(geom::Vec2{0, 1});
+  bench::row("A: origin (%.3f, %.3f)  x-> (%.3f, %.3f)  y-> (%.3f, %.3f)", 0.0, 0.0, 1.0, 0.0,
+             0.0, 1.0);
+  bench::row("B: origin (%.3f, %.3f)  x-> (%.3f, %.3f)  y-> (%.3f, %.3f)  (chirality -1)",
+             instance.b_start().x, instance.b_start().y, bx.x, bx.y, by.x, by.y);
+
+  bench::section("bisectrix D and canonical line L");
+  const geom::Line line = instance.canonical_line();
+  bench::row("D inclination      : %.6f rad (phi/2)", instance.phi() / 2.0);
+  bench::row("L point            : (%.6f, %.6f)  (midpoint of origins)", line.point().x,
+             line.point().y);
+  bench::row("L direction        : (%.6f, %.6f)", line.direction().x, line.direction().y);
+  bench::row("L inclination      : %.6f rad", line.inclination());
+
+  bench::section("equidistance and projections (the chi = -1 feasibility quantities)");
+  const geom::Vec2 proj_a = line.project(geom::Vec2{0, 0});
+  const geom::Vec2 proj_b = line.project(instance.b_start());
+  bench::row("dist(A, L)         : %.6f", line.distance_to(geom::Vec2{0, 0}));
+  bench::row("dist(B, L)         : %.6f   (equal by Definition 2.1)",
+             line.distance_to(instance.b_start()));
+  bench::row("projA              : (%.6f, %.6f)", proj_a.x, proj_a.y);
+  bench::row("projB              : (%.6f, %.6f)", proj_b.x, proj_b.y);
+  bench::row("dist(projA, projB) : %.6f", instance.projection_distance());
+  bench::row("dist(A, B)         : %.6f  (>= projection distance)", instance.initial_distance());
+
+  bench::section("polyline samples of L for plotting (x y)");
+  for (int k = -3; k <= 3; ++k) {
+    const geom::Vec2 p = line.point() + static_cast<double>(k) * line.direction();
+    bench::row("%.6f %.6f", p.x, p.y);
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+// FIG-4 — regenerates the case analysis of Figure 4 (proof of Lemma 3.2):
+// during the positive/negative moves along the canonical line, rendezvous
+// realizes either as (a) the projections of A and B crossing (a time u with
+// projA(u) = projB(u) inside the window) or (b) the projection gap shrinking
+// monotonically to at most r - e/2 without crossing. For a sweep of type-1
+// instances we simulate AlmostUniversalRV with tracing and report which
+// case occurred.
+#include <cmath>
+
+#include "core/almost_universal.hpp"
+#include "core/feasibility.hpp"
+#include "bench_util.hpp"
+#include "geom/angle.hpp"
+#include "sim/engine.hpp"
+#include "sim/metrics.hpp"
+
+int main() {
+  using namespace aurv;
+  bench::header("FIG-4: positive/negative move cases (Figure 4, Lemma 3.2)",
+                "Projection-crossing (a) vs monotone-shrink (b) at the meeting.");
+
+  bench::row("%-28s %-7s %-9s %-11s %-11s %-6s", "instance (dp, lat, t, phi)", "kind",
+             "met", "meet time", "proj gap", "case");
+
+  struct Config {
+    double dist_proj;
+    double lateral;
+    double t;
+    double phi;
+  };
+  const Config configs[] = {
+      {2.0, 0.6, 1.5, 0.0},          {2.0, 1.2, 1.8, 0.0},
+      {1.5, 0.4, 1.0, 0.0},          {2.0, 0.5, 1.5, geom::kPi / 2},
+      {2.5, 0.8, 2.0, geom::kPi / 4}, {1.2, 0.3, 4.0, 0.0},
+  };
+  for (const Config& config : configs) {
+    const geom::Vec2 along = geom::unit_vector(config.phi / 2.0);
+    const geom::Vec2 b = config.dist_proj * along + config.lateral * along.perp();
+    const agents::Instance instance(1.0, b, config.phi, 1, 1,
+                                    numeric::Rational::from_double(config.t), -1);
+    const core::Classification c = core::classify(instance);
+
+    sim::EngineConfig engine_config;
+    engine_config.max_events = 30'000'000;
+    engine_config.trace_capacity = 1 << 18;
+    const sim::SimResult result = sim::Engine(instance, engine_config)
+                                      .run([] { return core::almost_universal_rv(); });
+
+    // Figure 4's dichotomy, computed by the trace-analytics module.
+    const auto figure4 = sim::classify_figure4_case(instance, result.trace);
+    const auto gaps = sim::projection_gap_series(instance, result.trace);
+    const double last_gap = gaps.empty() ? 0.0 : std::fabs(gaps.back().signed_gap);
+    const char* case_label = "-";
+    if (result.met && figure4) {
+      case_label = *figure4 == sim::Figure4Case::Crossing ? "(a)" : "(b)";
+    }
+    bench::row("(%.1f, %.1f, %.1f, %.2f)%*s %-7s %-9s %-11.4f %-11.4f %-6s", config.dist_proj,
+               config.lateral, config.t, config.phi, 6, "", core::to_string(c.kind).c_str(),
+               result.met ? "yes" : "no", result.meet_time, last_gap, case_label);
+  }
+  std::printf(
+      "\nShape check: every type-1 instance meets; both Figure-4 cases occur\n"
+      "across the sweep, and the projection gap at the meeting is <= r.\n");
+  return 0;
+}

@@ -1,0 +1,151 @@
+// KERN — google-benchmark micro-kernels for the library's hot paths: exact
+// rational time arithmetic, the closest-approach solver, instruction-stream
+// generation, and end-to-end simulator event throughput.
+#include <benchmark/benchmark.h>
+
+#include "algo/cow_walk.hpp"
+#include "core/almost_universal.hpp"
+#include "algo/latecomers.hpp"
+#include "gather/engine.hpp"
+#include "geom/closest_approach.hpp"
+#include "sim/batch.hpp"
+#include "numeric/rational.hpp"
+#include "program/combinators.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using aurv::numeric::BigInt;
+using aurv::numeric::Rational;
+
+void BM_RationalAddSmall(benchmark::State& state) {
+  const Rational a(BigInt(355), BigInt(113));
+  const Rational b(BigInt(-22), BigInt(7));
+  for (auto _ : state) {
+    Rational c = a;
+    c += b;
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_RationalAddSmall);
+
+void BM_RationalAddHuge(benchmark::State& state) {
+  // The simulator's worst realistic case: a phase-5 wait boundary plus a
+  // dyadic offset (hundreds of bits of integer part).
+  const Rational a = Rational::pow2(375) + Rational::dyadic(3, 7);
+  const Rational b = Rational::dyadic(5, 9);
+  for (auto _ : state) {
+    Rational c = a;
+    c += b;
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_RationalAddHuge);
+
+void BM_RationalCompareHuge(benchmark::State& state) {
+  const Rational a = Rational::pow2(375) + Rational::dyadic(3, 7);
+  const Rational b = Rational::pow2(375) + Rational::dyadic(5, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a < b);
+  }
+}
+BENCHMARK(BM_RationalCompareHuge);
+
+void BM_BigIntMul(benchmark::State& state) {
+  const BigInt a = BigInt::pow2(static_cast<std::uint64_t>(state.range(0))) - BigInt(12345);
+  const BigInt b = BigInt::pow2(static_cast<std::uint64_t>(state.range(0))) - BigInt(54321);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+}
+BENCHMARK(BM_BigIntMul)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_ClosestApproach(benchmark::State& state) {
+  const aurv::geom::Vec2 offset{3.0, 4.0};
+  const aurv::geom::Vec2 velocity{-1.0, -0.5};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aurv::geom::closest_approach(offset, velocity, 10.0));
+    benchmark::DoNotOptimize(aurv::geom::first_contact(offset, velocity, 1.0, 10.0));
+  }
+}
+BENCHMARK(BM_ClosestApproach);
+
+void BM_PlanarCowWalkGeneration(benchmark::State& state) {
+  const auto i = static_cast<std::uint32_t>(state.range(0));
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    auto walk = aurv::algo::planar_cow_walk(i);
+    while (walk.next()) ++instructions;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(instructions));
+}
+BENCHMARK(BM_PlanarCowWalkGeneration)->Arg(2)->Arg(4)->Arg(6);
+
+void BM_TakeDurationSlicing(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aurv::program::take_duration(
+        aurv::core::almost_universal_rv(), Rational::pow2(8)));
+  }
+}
+BENCHMARK(BM_TakeDurationSlicing);
+
+void BM_GatherEngineThreeAgents(benchmark::State& state) {
+  // Multi-agent window processing: O(n^2) pair checks per event.
+  const std::vector<aurv::gather::GatherAgent> agents = {
+      {{0.0, 0.0}, 0}, {{200.0, 0.0}, 1}, {{-200.0, 50.0}, 2}};
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    aurv::gather::GatherConfig config;
+    config.r = 0.5;
+    config.max_events = static_cast<std::uint64_t>(state.range(0));
+    const aurv::gather::GatherResult result =
+        aurv::gather::GatherEngine(agents, config).run([] {
+          return aurv::algo::latecomers();
+        });
+    events += result.events;
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_GatherEngineThreeAgents)->Arg(10'000);
+
+void BM_BatchSweepScaling(benchmark::State& state) {
+  // Thread-pool scaling of the sweep runner on independent never-meeting
+  // simulations.
+  std::vector<aurv::agents::Instance> instances;
+  for (int k = 0; k < 24; ++k) {
+    instances.push_back(
+        aurv::agents::Instance::synchronous(0.25, {300.0 + k, 0.0}, 0.0, 0, 1));
+  }
+  aurv::sim::EngineConfig config;
+  config.max_events = 20'000;
+  for (auto _ : state) {
+    const auto results = aurv::sim::run_sweep(
+        instances, [] { return aurv::core::almost_universal_rv(); }, config,
+        static_cast<std::size_t>(state.range(0)));
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 24 * 20'000);
+}
+BENCHMARK(BM_BatchSweepScaling)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_EngineEventThroughput(benchmark::State& state) {
+  // A never-meeting symmetric instance driven by the full Algorithm 1:
+  // measures end-to-end events/second of the exact-time engine.
+  const aurv::agents::Instance instance =
+      aurv::agents::Instance::synchronous(0.25, {500.0, 0.0}, 0.0, 0, 1);
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    aurv::sim::EngineConfig config;
+    config.max_events = static_cast<std::uint64_t>(state.range(0));
+    const aurv::sim::SimResult result =
+        aurv::sim::Engine(instance, config)
+            .run([] { return aurv::core::almost_universal_rv(); });
+    events += result.events;
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_EngineEventThroughput)->Arg(10'000)->Arg(100'000);
+
+}  // namespace

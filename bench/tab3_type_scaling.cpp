@@ -1,0 +1,89 @@
+// TAB-3 — per-type cost scaling (the Lemmas 3.2-3.5 shape): meet time as a
+// function of the governing parameter of each type:
+//   type 1: the margin e = t - (dist_proj - r)  (blows up as e -> 0+)
+//   type 2: the wake-up delay t                 (benign above the boundary)
+//   type 3: the clock ratio tau                 (easier as the skew grows)
+//   type 4: the speed ratio v                   (fixed point moves with v)
+#include <cmath>
+
+#include "algo/latecomers.hpp"
+#include "bench_util.hpp"
+#include "core/almost_universal.hpp"
+#include "core/feasibility.hpp"
+#include "geom/angle.hpp"
+#include "sim/engine.hpp"
+
+int main() {
+  using namespace aurv;
+  using agents::Instance;
+  using numeric::Rational;
+  bench::header("TAB-3: per-type scaling (Lemmas 3.2-3.5)",
+                "Meet time / events vs the governing parameter of each type.");
+
+  const auto run = [](const Instance& instance, std::uint64_t fuel) {
+    sim::EngineConfig config;
+    config.max_events = fuel;
+    return sim::Engine(instance, config).run([] { return core::almost_universal_rv(); });
+  };
+
+  bench::section(
+      "type 1: margin e = t - (dist_proj - r); rotated line phi=1, dp=3, r=1");
+  bench::row("%-10s %-8s %-14s %-9s %-12s", "e", "met", "log2(meet t)", "phase", "events");
+  const geom::Vec2 along1 = geom::unit_vector(0.5);
+  for (const double e : {4.0, 1.0, 0.25, 0.0625, 0.02}) {
+    const Instance instance(1.0, 3.0 * along1 + 0.8 * along1.perp(), 1.0, 1, 1,
+                            Rational::from_double(2.0 + e), -1);
+    const sim::SimResult result = run(instance, 120'000'000);
+    bench::row("%-10.4f %-8s %-14.2f %-9u %-12llu", e, result.met ? "yes" : "no",
+               result.met && result.meet_time > 1 ? std::log2(result.meet_time) : 0.0,
+               result.met ? core::aurv_phase_at(result.meet_window_start) : 0,
+               static_cast<unsigned long long>(result.events));
+  }
+
+  bench::section("type 2: delay t above the boundary t* = 4.5 (d=5.5, r=1)");
+  bench::row("%-10s %-8s %-14s %-9s %-12s", "t", "met", "log2(meet t)", "phase", "events");
+  for (const char* t : {"23/5", "5", "6", "10", "20"}) {
+    const Instance instance =
+        Instance::synchronous(1.0, {5.5, 0.0}, 0.0, Rational::from_string(t), 1);
+    const sim::SimResult result = run(instance, 60'000'000);
+    bench::row("%-10s %-8s %-14.2f %-9u %-12llu", t, result.met ? "yes" : "no",
+               result.met && result.meet_time > 1 ? std::log2(result.meet_time) : 0.0,
+               result.met ? core::aurv_phase_at(result.meet_window_start) : 0,
+               static_cast<unsigned long long>(result.events));
+  }
+
+  bench::section("type 3: clock ratio tau (d~6, r=1, t=0)");
+  bench::row("%-10s %-8s %-14s %-9s %-12s", "tau", "met", "log2(meet t)", "phase", "events");
+  for (const char* tau : {"9/8", "5/4", "3/2", "2", "4", "1/2", "1/4"}) {
+    const Instance instance(1.0, {6.0, 1.0}, 0.0, Rational::from_string(tau), 1, 0, 1);
+    const sim::SimResult result = run(instance, 60'000'000);
+    // Meet times can be astronomically large (the 2^(15 i^2) waits); report
+    // log2 for readability.
+    const double log_meet = result.met && result.meet_time > 0
+                                ? std::log2(result.meet_time)
+                                : 0.0;
+    bench::row("%-10s %-8s 2^%-12.2f %-9u %-12llu", tau, result.met ? "yes" : "no", log_meet,
+               result.met ? core::aurv_phase_at(result.meet_window_start) : 0,
+               static_cast<unsigned long long>(result.events));
+  }
+
+  bench::section("type 4: speed ratio v (tau=1, t=0, chi=+1, phi=0, d=5, r=1)");
+  bench::row("%-10s %-8s %-14s %-9s %-12s", "v", "met", "log2(meet t)", "phase", "events");
+  for (const char* v : {"5/4", "3/2", "2", "3", "5", "1/2", "1/4"}) {
+    const Instance instance(1.0, {5.0, 0.0}, 0.0, 1, Rational::from_string(v), 0, 1);
+    const sim::SimResult result = run(instance, 120'000'000);
+    bench::row("%-10s %-8s %-14.2f %-9u %-12llu", v, result.met ? "yes" : "no",
+               result.met && result.meet_time > 1 ? std::log2(result.meet_time) : 0.0,
+               result.met ? core::aurv_phase_at(result.meet_window_start) : 0,
+               static_cast<unsigned long long>(result.events));
+  }
+
+  std::printf(
+      "\nShape checks: the rendezvous phase climbs as the governing parameter\n"
+      "approaches its hard limit — e -> 0+ for type 1 (impossible at e = 0,\n"
+      "see TAB-4), tau -> 1 and v -> 1 for types 3/4 (the symmetry-breaking\n"
+      "signal vanishes; at v = 1 exactly the fixed point recedes to\n"
+      "infinity). Absolute meet times are dominated by the 2^(15 i^2) waits\n"
+      "of the last phase traversed, hence reported as log2.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// TAB-4 — the impossibility table (Theorem 4.1 and the S1 analogue from
+// [38]): for each candidate algorithm the adversary constructs a boundary
+// instance aimed into the largest unused direction gap; simulation verifies
+// no rendezvous within the analyzed horizon (distance stays > r), while the
+// dedicated boundary algorithm solves the very same instance at distance
+// exactly r.
+#include <string>
+#include <vector>
+
+#include "algo/boundary.hpp"
+#include "algo/cgkk.hpp"
+#include "algo/latecomers.hpp"
+#include "bench_util.hpp"
+#include "core/adversary.hpp"
+#include "core/almost_universal.hpp"
+#include "core/feasibility.hpp"
+#include "sim/engine.hpp"
+
+int main() {
+  using namespace aurv;
+  using numeric::Rational;
+  bench::header("TAB-4: the exception sets S1/S2 (Theorem 4.1 + [38])",
+                "Adversary defeats every fixed algorithm on the boundary; dedicated wins.");
+
+  struct Candidate {
+    std::string name;
+    sim::AlgorithmFactory factory;
+  };
+  const std::vector<Candidate> candidates = {
+      {"AlmostUniversalRV", [] { return core::almost_universal_rv(); }},
+      {"Latecomers", [] { return algo::latecomers(); }},
+      {"CGKK", [] { return algo::cgkk(); }},
+  };
+
+  bench::row("%-20s %-4s %-6s %-9s %-9s %-9s %-11s %-10s", "algorithm", "set", "dirs",
+             "gap(rad)", "defeated", "min dist", "dedicated", "ded dist");
+
+  int all_ok = 0;
+  int total = 0;
+  for (const Candidate& candidate : candidates) {
+    for (const bool s2 : {false, true}) {
+      core::AdversaryConfig adversary;
+      adversary.analysis_horizon = 2048;
+      adversary.r = 1.0;
+      adversary.t = 2;
+      const core::AdversaryReport report =
+          s2 ? core::construct_s2_counterexample(candidate.factory, adversary)
+             : core::construct_s1_counterexample(candidate.factory, adversary);
+
+      sim::EngineConfig config;
+      config.horizon = Rational(2048);
+      config.max_events = 6'000'000;
+      const sim::SimResult defeat =
+          sim::Engine(report.instance, config).run(candidate.factory);
+
+      const sim::SimResult dedicated =
+          sim::Engine(report.instance, {}).run([&report, s2] {
+            return s2 ? algo::boundary_s2_algorithm(report.instance)
+                      : algo::boundary_s1_algorithm(report.instance);
+          });
+
+      const bool ok = !defeat.met && defeat.min_distance_seen > report.instance.r() &&
+                      dedicated.met;
+      ++total;
+      if (ok) ++all_ok;
+      bench::row("%-20s %-4s %-6zu %-9.4f %-9s %-9.4f %-11s %-10.6f",
+                 candidate.name.c_str(), s2 ? "S2" : "S1", report.directions_used,
+                 report.angular_gap, defeat.met ? "NO" : "yes", defeat.min_distance_seen,
+                 dedicated.met ? "meets" : "FAILS", dedicated.final_distance);
+    }
+  }
+  std::printf("\nvalidated: %d/%d (expected: all defeated + all dedicated meet)\n", all_ok,
+              total);
+  std::printf(
+      "Shape check: the boundary sets are unreachable for every fixed\n"
+      "algorithm (countably many directions vs a continuum), yet each\n"
+      "individual boundary instance is feasible — Section 4's \"we miss\n"
+      "little and cannot avoid it altogether\".\n");
+  return all_ok == total ? 0 : 1;
+}

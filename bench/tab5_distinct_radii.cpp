@@ -1,0 +1,68 @@
+// TAB-5 — the Section 5 extension: distinct visibility radii r_a != r_b.
+// The far-sighted agent freezes at its own radius on first sighting; the
+// near-sighted one keeps searching until within its radius. Re-runs the
+// TAB-2 representatives under several radius splits.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/almost_universal.hpp"
+#include "core/feasibility.hpp"
+#include "geom/angle.hpp"
+#include "sim/engine.hpp"
+
+int main() {
+  using namespace aurv;
+  using agents::Instance;
+  using numeric::Rational;
+  bench::header("TAB-5: distinct visibility radii (Section 5)",
+                "Far-sighted agent freezes at r1; run completes at r2 = min radius.");
+
+  struct Case {
+    std::string label;
+    Instance instance;
+    double r_a;
+    double r_b;
+  };
+  const std::vector<Case> cases = {
+      {"T1, A far-sighted", Instance::synchronous(0.75, {2.0, 0.6}, 0.0,
+                                                  Rational::from_string("3/2"), -1),
+       1.5, 0.75},
+      {"T1, B far-sighted", Instance::synchronous(0.75, {2.0, 0.6}, 0.0,
+                                                  Rational::from_string("3/2"), -1),
+       0.75, 1.5},
+      {"T2, A far-sighted", Instance::synchronous(0.8, {1.5, 0.0}, 0.0, 1, 1), 1.6, 0.8},
+      {"T3, A far-sighted", Instance(0.8, {2.0, 0.5}, 0.3, 2, 1, 0, 1), 1.6, 0.8},
+      {"T4, B far-sighted", Instance(0.6, {1.5, 0.0}, 0.0, 1, 2, 0, 1), 0.6, 1.2},
+      {"T4, equal radii", Instance(0.6, {1.5, 0.0}, 0.0, 1, 2, 0, 1), 0.6, 0.6},
+  };
+
+  bench::row("%-20s %-8s %-6s %-6s %-5s %-12s %-12s", "case", "kind", "r_a", "r_b", "met",
+             "meet time", "final dist");
+  int successes = 0;
+  for (const Case& test : cases) {
+    sim::EngineConfig config;
+    config.max_events = 60'000'000;
+    config.r_a = test.r_a;
+    config.r_b = test.r_b;
+    const sim::SimResult result = sim::Engine(test.instance, config)
+                                      .run([] { return core::almost_universal_rv(); });
+    if (result.met) ++successes;
+    bench::row("%-20s %-8s %-6.2f %-6.2f %-5s %-12.4f %-12.6f", test.label.c_str(),
+               core::to_string(core::classify(test.instance).kind).c_str(), test.r_a, test.r_b,
+               result.met ? "yes" : "no", result.meet_time, result.final_distance);
+    if (result.met) {
+      const double r_min = std::min(test.r_a, test.r_b);
+      if (result.final_distance > r_min + 1e-6) {
+        bench::row("  (warning: final distance exceeds min radius %.3f)", r_min);
+      }
+    }
+  }
+  std::printf("\nsuccess rate: %d/%zu (expected: all)\n", successes, cases.size());
+  std::printf(
+      "Shape check: rendezvous completes at the *smaller* radius in every\n"
+      "split, matching Section 5's argument that AlmostUniversalRV needs no\n"
+      "modification (each phase already contains a search procedure).\n");
+  return successes == static_cast<int>(cases.size()) ? 0 : 1;
+}

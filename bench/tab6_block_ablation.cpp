@@ -1,0 +1,98 @@
+// TAB-6 (ablation) — which block of Algorithm 1 rescues which instance
+// type. DESIGN.md calls out the one-block-per-type structure of Section
+// 3.1.1; this experiment runs block-masked variants of AlmostUniversalRV:
+//   * each single block alone ("does block k solve its own type?"),
+//   * leave-one-out ("is block k necessary, or do the others rescue it?").
+// The runs are horizon/fuel-bounded: "no" means no rendezvous within the
+// budget that the full algorithm needs, not a proof of impossibility.
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/almost_universal.hpp"
+#include "core/feasibility.hpp"
+#include "geom/angle.hpp"
+#include "sim/engine.hpp"
+
+int main() {
+  using namespace aurv;
+  using agents::Instance;
+  using numeric::Rational;
+  bench::header("TAB-6 (ablation): block k vs instance type (Section 3.1.1)",
+                "Block-masked AlmostUniversalRV variants; yes = meets within budget.");
+
+  struct Case {
+    std::string label;
+    Instance instance;
+  };
+  const geom::Vec2 along = geom::unit_vector(0.5);
+  const std::vector<Case> cases = {
+      // Hard representatives — easy instances are solved by several blocks
+      // incidentally, hard ones isolate the responsible mechanism.
+      {"type-1 (e=1/16)", Instance(1.0, 3.0 * along + 0.8 * along.perp(), 1.0, 1, 1,
+                                   Rational::from_string("33/16"), -1)},
+      {"type-2 (d=5.5)", Instance::synchronous(1.0, {5.5, 0.0}, 0.0, 5, 1)},
+      {"type-3 (tau=9/8)", Instance(1.0, {6.0, 1.0}, 0.0, Rational::from_string("9/8"), 1, 0, 1)},
+      {"type-4 (v=5/4)", Instance(1.0, {5.0, 0.0}, 0.0, 1, Rational::from_string("5/4"), 0, 1)},
+  };
+
+  struct Variant {
+    std::string name;
+    unsigned mask;
+  };
+  std::vector<Variant> variants;
+  for (int block = 1; block <= 4; ++block) {
+    variants.push_back({"only-b" + std::to_string(block), 1u << (block - 1)});
+  }
+  for (int block = 1; block <= 4; ++block) {
+    variants.push_back({"without-b" + std::to_string(block), 0b1111u & ~(1u << (block - 1))});
+  }
+  variants.push_back({"full", 0b1111u});
+
+  std::printf("%-18s", "instance \\ variant");
+  for (const Variant& variant : variants) std::printf(" %-11s", variant.name.c_str());
+  std::printf("\n");
+
+  // Phase index under a masked variant's own schedule.
+  const auto masked_phase_at = [](unsigned mask, const numeric::Rational& elapsed) {
+    numeric::Rational total = 0;
+    for (std::uint32_t i = 1; i <= 30; ++i) {
+      for (int block = 1; block <= 4; ++block) {
+        if (mask & (1u << (block - 1))) total += core::aurv_block_duration(i, block);
+      }
+      if (elapsed < total) return i;
+    }
+    return 30u;
+  };
+
+  for (const Case& test : cases) {
+    std::printf("%-18s", test.label.c_str());
+    for (const Variant& variant : variants) {
+      sim::EngineConfig config;
+      config.max_events = 2'000'000;
+      const unsigned mask = variant.mask;
+      const sim::SimResult result =
+          sim::Engine(test.instance, config).run([mask] {
+            return core::almost_universal_rv_blocks(mask);
+          });
+      if (result.met) {
+        char cell[32];
+        std::snprintf(cell, sizeof cell, "yes(p%u)",
+                      masked_phase_at(mask, result.meet_window_start));
+        std::printf(" %-11s", cell);
+      } else {
+        std::printf(" %-11s", "no");
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nReading: the diagonal of the only-bk columns shows each block solving\n"
+      "the type it was designed for; off-diagonal 'yes' cells quantify the\n"
+      "redundancy between the search-based blocks (blocks 1/3/4 all contain\n"
+      "planar searches); leave-one-out rows show whether any single block is\n"
+      "strictly necessary for the hard representative of its type.\n"
+      "Note: phase indices reported against the masked variant's own schedule.\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// TAB-7 (extension) — the paper's concluding open problem, explored
+// empirically: gathering n >= 2 agents in the restricted shifted-frames
+// model of [38], driven by our Latecomers procedure, under the two natural
+// generalizations of the stop rule (see src/gather/engine.hpp).
+//
+// The experiment maps which configurations gather: staggered "funnel"
+// lines, symmetric stars (which contain equal-delay pairs with provably
+// constant gaps — ungatherable), and random-ish scattered groups.
+#include <string>
+#include <vector>
+
+#include "algo/latecomers.hpp"
+#include "bench_util.hpp"
+#include "gather/engine.hpp"
+#include "geom/angle.hpp"
+
+int main() {
+  using namespace aurv;
+  using gather::GatherAgent;
+  using geom::Vec2;
+  using numeric::Rational;
+  bench::header("TAB-7 (extension): n-agent gathering (Section 5 open problem)",
+                "Latecomers-driven gathering under both stop-rule generalizations.");
+
+  struct Scenario {
+    std::string label;
+    std::vector<GatherAgent> agents;
+  };
+  std::vector<Scenario> scenarios;
+
+  // Two agents (sanity: must match the rendezvous results).
+  scenarios.push_back({"n=2 funnel", {{Vec2{0, 0}, 0}, {Vec2{1.5, 0}, 1}}});
+  scenarios.push_back({"n=2 boundary-violating", {{Vec2{0, 0}, 0}, {Vec2{3.0, 0}, 1}}});
+
+  // Staggered funnel lines: delays comfortably exceed distances.
+  scenarios.push_back({"n=3 staggered line",
+                       {{Vec2{0, 0}, 0}, {Vec2{1.2, 0}, 2}, {Vec2{2.2, 0.1}, 5}}});
+  scenarios.push_back({"n=4 staggered line",
+                       {{Vec2{0, 0}, 0},
+                        {Vec2{1.0, 0}, 2},
+                        {Vec2{1.8, 0.1}, 5},
+                        {Vec2{2.4, -0.1}, 9}}});
+
+  // Symmetric star: equal-delay pairs -> constant mutual gaps, ungatherable
+  // under AllVisible by *any* algorithm.
+  scenarios.push_back({"n=3 equal-delay star",
+                       {{Vec2{0, 0}, 0}, {Vec2{2.4, 0}, 2}, {Vec2{-2.4, 0}, 2}}});
+
+  // Tight cluster with scattered wakes (diameter close to r already).
+  scenarios.push_back({"n=4 tight cluster",
+                       {{Vec2{0, 0}, 0},
+                        {Vec2{0.8, 0.2}, 1},
+                        {Vec2{-0.4, 0.6}, 3},
+                        {Vec2{0.3, -0.7}, 6}}});
+
+  bench::row("%-26s %-7s %-8s %-13s %-11s %-11s %-10s", "scenario", "funnel?", "policy",
+             "outcome", "time", "diameter", "min diam");
+  for (const Scenario& scenario : scenarios) {
+    const bool funnel = gather::is_funnel_configuration(scenario.agents, 1.0);
+    for (const gather::StopPolicy policy :
+         {gather::StopPolicy::FirstSight, gather::StopPolicy::AllVisible}) {
+      gather::GatherConfig config;
+      config.r = 1.0;
+      config.policy = policy;
+      // FirstSight builds chains: accept diameter (n-1) * r.
+      if (policy == gather::StopPolicy::FirstSight) {
+        config.success_diameter =
+            static_cast<double>(scenario.agents.size() - 1) * config.r + 1e-6;
+      }
+      config.max_events = 3'000'000;
+      config.horizon = Rational(100'000);
+      const gather::GatherResult result =
+          gather::GatherEngine(scenario.agents, config).run([] {
+            return algo::latecomers();
+          });
+      bench::row("%-26s %-7s %-8s %-13s %-11.4f %-11.4f %-10.4f", scenario.label.c_str(),
+                 funnel ? "yes" : "no",
+                 policy == gather::StopPolicy::FirstSight ? "first" : "all",
+                 to_string(result.reason).c_str(), result.gather_time,
+                 result.final_diameter, result.min_diameter_seen);
+    }
+  }
+
+  std::printf(
+      "\nReading: funnel lines gather under FirstSight (accreting chains) and\n"
+      "often under AllVisible; the equal-delay star can never gather — two\n"
+      "same-wake agents keep a constant mutual gap under any common program\n"
+      "in shifted frames (min diam stays pinned at their distance). This is\n"
+      "the executable counterpart of why the paper's two-agent analysis does\n"
+      "not lift to n agents for free, and why [38]'s gathering needs its own\n"
+      "'good configuration' condition.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// TAB-8 (ablation) — the planar-search design choice the paper leaves open
+// in Section 3.1.1: "spiral movements or series of parallel linear
+// searches". Algorithm 1 uses the parallel-lines PlanarCowWalk; this
+// experiment quantifies the trade-off against an expanding square spiral
+// with the same coverage guarantee:
+//   (a) solo coverage — local time for a searcher to pass within r of a
+//       static target at distance d;
+//   (b) rendezvous — CGKK built on each search, on type-4 instances.
+#include <cmath>
+
+#include "algo/cgkk.hpp"
+#include "algo/cow_walk.hpp"
+#include "algo/spiral.hpp"
+#include "bench_util.hpp"
+#include "core/feasibility.hpp"
+#include "geom/angle.hpp"
+#include "program/combinators.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace aurv;
+using agents::Instance;
+using numeric::Rational;
+
+/// Local time at which the searcher's path first passes within `r` of the
+/// target: simulated as a rendezvous against a never-waking static agent.
+double coverage_time(const sim::AlgorithmFactory& searcher, geom::Vec2 target, double r) {
+  const Instance instance = Instance::synchronous(r, target, 0.0, 1'000'000, 1);
+  sim::EngineConfig config;
+  config.max_events = 8'000'000;
+  const sim::SimResult result = sim::Engine(instance, config).run(
+      searcher(), program::replay({}));
+  return result.met ? result.meet_time : -1.0;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("TAB-8 (ablation): PlanarCowWalk vs SpiralSearch (Section 3.1.1)",
+                "The paper's open design choice for the planar search, quantified.");
+
+  bench::section("search duration per phase (local time units, exact)");
+  bench::row("%-6s %-16s %-16s %-8s", "i", "cow walk", "spiral", "ratio");
+  for (std::uint32_t i = 1; i <= 6; ++i) {
+    const double walk = algo::planar_cow_walk_duration(i).to_double();
+    const double spiral = algo::spiral_search_duration(i).to_double();
+    bench::row("%-6u %-16.0f %-16.0f %-8.2f", i, walk, spiral, walk / spiral);
+  }
+
+  bench::section("solo coverage: time to pass within r=0.5 of a target at distance d");
+  bench::row("%-8s %-14s %-14s %-8s", "d", "cgkk (walk)", "cgkk (spiral)", "ratio");
+  for (const double d : {1.0, 2.0, 4.0, 7.0}) {
+    const geom::Vec2 target = d * geom::unit_vector(0.9);
+    const double walk =
+        coverage_time([] { return algo::cgkk(); }, target, 0.5);
+    const double spiral =
+        coverage_time([] { return algo::cgkk_spiral(); }, target, 0.5);
+    bench::row("%-8.1f %-14.2f %-14.2f %-8.2f", d, walk, spiral,
+               spiral > 0 ? walk / spiral : 0.0);
+  }
+
+  bench::section("rendezvous: type-4 instances, CGKK on each search");
+  bench::row("%-26s %-12s %-12s", "instance", "walk meets", "spiral meets");
+  const Instance cases[] = {
+      Instance::synchronous(0.8, {2.0, 0.0}, geom::kPi / 2, 0, 1),
+      Instance(0.8, {1.5, 0.0}, 0.0, 1, 2, 0, 1),
+      Instance(0.8, {1.0, 0.5}, 0.7, 1, 2, 0, -1),
+      Instance(1.0, {5.0, 0.0}, 0.0, 1, Rational::from_string("3/2"), 0, 1),
+  };
+  for (const Instance& instance : cases) {
+    sim::EngineConfig config;
+    config.max_events = 8'000'000;
+    const sim::SimResult walk =
+        sim::Engine(instance, config).run([] { return algo::cgkk(); });
+    const sim::SimResult spiral =
+        sim::Engine(instance, config).run([] { return algo::cgkk_spiral(); });
+    char walk_cell[32];
+    char spiral_cell[32];
+    std::snprintf(walk_cell, sizeof walk_cell, "%s@%.5g", walk.met ? "yes" : "no",
+                  walk.meet_time);
+    std::snprintf(spiral_cell, sizeof spiral_cell, "%s@%.5g", spiral.met ? "yes" : "no",
+                  spiral.meet_time);
+    bench::row("%-26s %-12s %-12s", core::classify(instance).clause.substr(0, 24).c_str(),
+               walk_cell, spiral_cell);
+  }
+
+  std::printf(
+      "\nReading: both searches carry the same 1/2^i coverage guarantee, but\n"
+      "the spiral visits each arm once while the cow walk re-walks every\n"
+      "rung line three times — a ~4x duration cost Algorithm 1 pays for the\n"
+      "simpler per-line analysis its type-1 proof performs (Claim 3.3\n"
+      "reasons about individual East-West runs, which the spiral lacks).\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// The knife-edge of Theorem 4.1, executed: an S2 boundary instance
+// (synchronous, chi = -1, t = dist(projA,projB) - r) defeats the universal
+// algorithm — the adversary even *constructs* it from AURV's own trajectory
+// — yet the same instance is solved, with the agents stopping at distance
+// exactly r, by Lemma 3.9's dedicated algorithm.
+//
+//   $ ./boundary_rendezvous
+//
+#include <cstdio>
+
+#include "algo/boundary.hpp"
+#include "core/adversary.hpp"
+#include "core/almost_universal.hpp"
+#include "core/feasibility.hpp"
+#include "sim/engine.hpp"
+
+int main() {
+  using namespace aurv;
+  using numeric::Rational;
+
+  const sim::AlgorithmFactory universal = [] { return core::almost_universal_rv(); };
+
+  // 1. The adversary inspects the universal algorithm's trajectory prefix
+  //    and aims the canonical line into its largest unused inclination gap.
+  core::AdversaryConfig adversary;
+  adversary.analysis_horizon = 4096;
+  adversary.r = 1.0;
+  adversary.t = 2;
+  const core::AdversaryReport report = core::construct_s2_counterexample(universal, adversary);
+  std::printf("adversarial instance : %s\n", report.instance.to_string().c_str());
+  std::printf("  canonical-line inclination phi/2 = %.6f rad\n", report.chosen_direction);
+  std::printf("  distinct inclinations used by AURV's prefix: %zu (gap %.4f rad)\n",
+              report.directions_used, report.angular_gap);
+  std::printf("  classification: %s\n\n",
+              core::to_string(core::classify(report.instance).kind).c_str());
+
+  // 2. The universal algorithm fails on it (within the analyzed horizon).
+  sim::EngineConfig config;
+  config.horizon = Rational(4096);
+  config.max_events = 8'000'000;
+  const sim::SimResult universal_run = sim::Engine(report.instance, config).run(universal);
+  std::printf("AlmostUniversalRV   : met=%s  closest approach %.6f (> r = %.2f)\n",
+              universal_run.met ? "yes" : "no", universal_run.min_distance_seen,
+              report.instance.r());
+
+  // 3. The dedicated Lemma 3.9 algorithm solves the very same instance.
+  const sim::SimResult dedicated_run =
+      sim::Engine(report.instance, {}).run([&report] {
+        return algo::boundary_s2_algorithm(report.instance);
+      });
+  std::printf("Lemma 3.9 dedicated : met=%s  at time %.4f, distance %.9f (= r)\n",
+              dedicated_run.met ? "yes" : "no", dedicated_run.meet_time,
+              dedicated_run.final_distance);
+
+  // 4. And the knife-edge: half a time unit of extra delay puts the
+  //    instance back inside AlmostUniversalRV's coverage (type 1).
+  const agents::Instance nudged =
+      report.instance.with_delay(report.instance.t() + Rational::from_string("1/2"));
+  sim::EngineConfig nudged_config;
+  nudged_config.max_events = 30'000'000;
+  const sim::SimResult nudged_run = sim::Engine(nudged, nudged_config).run(universal);
+  std::printf("same + t += 1/2     : kind=%s  met=%s  at time %.4f\n",
+              core::to_string(core::classify(nudged).kind).c_str(),
+              nudged_run.met ? "yes" : "no", nudged_run.meet_time);
+  return 0;
+}

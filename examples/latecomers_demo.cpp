@@ -1,0 +1,58 @@
+// "Latecomers help to meet": with identical, shifted coordinate systems the
+// wake-up delay t is the *only* symmetry breaker — and it must be at least
+// dist - r. This demo sweeps the delay across the feasibility boundary for
+// one fixed geometry and simulates our Latecomers procedure (the [38]
+// substitute) on each instance.
+//
+//   $ ./latecomers_demo
+//
+#include <cstdio>
+
+#include "algo/latecomers.hpp"
+#include "core/feasibility.hpp"
+#include "sim/engine.hpp"
+
+int main() {
+  using namespace aurv;
+  using agents::Instance;
+  using numeric::Rational;
+
+  const geom::Vec2 b{1.5, 0.0};
+  const double r = 1.0;  // boundary at t = dist - r = 0.5
+  std::printf("Geometry: B at (%.1f, %.1f), dist = %.2f, r = %.2f  =>  boundary t* = %.2f\n\n",
+              b.x, b.y, b.norm(), r, b.norm() - r);
+  std::printf("%-8s %-15s %-10s %-12s %-12s\n", "t", "kind", "met", "meet time", "min dist");
+
+  for (const char* t_text : {"0", "1/4", "1/2", "3/4", "1", "2", "4", "8"}) {
+    const Instance instance =
+        Instance::synchronous(r, b, 0.0, Rational::from_string(t_text), 1);
+    const core::Classification c = core::classify(instance);
+
+    sim::EngineConfig config;
+    config.max_events = 4'000'000;
+    // For infeasible instances a horizon keeps the run finite and lets us
+    // report the closest approach instead.
+    if (!c.feasible) config.horizon = Rational(5000);
+    const sim::SimResult result =
+        sim::Engine(instance, config).run([] { return algo::latecomers(); });
+
+    std::printf("%-8s %-15s %-10s ", t_text, core::to_string(c.kind).c_str(),
+                result.met ? "yes" : "no");
+    if (result.met) {
+      std::printf("%-12.4f %-12.4f\n", result.meet_time, result.final_distance);
+    } else {
+      std::printf("%-12s %-12.4f\n", "-", result.min_distance_seen);
+    }
+  }
+
+  std::printf(
+      "\nReading: below t* = 0.5 the later agent cannot compensate the shift —\n"
+      "the closest approach stays pinned at dist - t > r. From t* on, the first\n"
+      "eastward trip already closes the gap (B is still asleep) at time 0.5.\n"
+      "The t = t* row sits in the exception set S1 and meets here only because\n"
+      "this B happens to lie exactly on one of Latecomers' directions: meeting\n"
+      "on the boundary requires a full-speed straight run aimed *exactly* at B,\n"
+      "and ./boundary_rendezvous shows how an adversary aims the geometry into\n"
+      "a direction gap to defeat any fixed algorithm on S1/S2.\n");
+  return 0;
+}

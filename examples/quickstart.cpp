@@ -1,0 +1,60 @@
+// Quickstart: describe a rendezvous instance, ask the library whether it is
+// feasible (Theorem 3.1), pick the right algorithm (AlmostUniversalRV or a
+// dedicated boundary algorithm), and simulate until the agents meet.
+//
+//   $ ./quickstart
+//
+#include <cstdio>
+
+#include "core/almost_universal.hpp"
+#include "core/feasibility.hpp"
+#include "sim/engine.hpp"
+
+int main() {
+  using namespace aurv;
+
+  // Agent B starts at (2, 0.6) in A's coordinates, with a mirrored (chi=-1)
+  // coordinate system, the same clock rate and speed, and wakes up 1.5 time
+  // units after A. Both agents see at distance r = 1.
+  const agents::Instance instance =
+      agents::Instance::synchronous(/*r=*/1.0, geom::Vec2{2.0, 0.6}, /*phi=*/0.0,
+                                    /*t=*/numeric::Rational::from_string("3/2"),
+                                    /*chi=*/-1);
+  std::printf("instance : %s\n", instance.to_string().c_str());
+
+  // 1. Feasibility (Theorem 3.1) and taxonomy (Section 3.1.1).
+  const core::Classification verdict = core::classify(instance);
+  std::printf("kind     : %s\n", core::to_string(verdict.kind).c_str());
+  std::printf("clause   : %s\n", verdict.clause.c_str());
+  std::printf("feasible : %s, covered by AlmostUniversalRV: %s\n",
+              verdict.feasible ? "yes" : "no", verdict.covered_by_aurv ? "yes" : "no");
+  if (!verdict.feasible) {
+    std::printf("No deterministic algorithm can solve this instance.\n");
+    return 0;
+  }
+
+  // 2. Simulate the recommended algorithm. Both (anonymous!) agents run the
+  //    same program; the engine interprets it through each agent's private
+  //    frame and reports the first time they see each other.
+  sim::EngineConfig config;
+  config.max_events = 20'000'000;
+  const sim::SimResult result =
+      sim::Engine(instance, config).run(core::recommended_algorithm(instance));
+
+  if (result.met) {
+    std::printf("rendezvous at time %.6f, distance %.6f (<= r = %.3f)\n", result.meet_time,
+                result.final_distance, instance.r());
+    std::printf("  A stops at (%.4f, %.4f)\n", result.a_position.x, result.a_position.y);
+    std::printf("  B stops at (%.4f, %.4f)\n", result.b_position.x, result.b_position.y);
+    std::printf("  phase of Algorithm 1 in progress: %u\n",
+                core::aurv_phase_at(result.meet_window_start));
+    std::printf("  simulated events: %llu (A ran %llu instructions, B %llu)\n",
+                static_cast<unsigned long long>(result.events),
+                static_cast<unsigned long long>(result.instructions_a),
+                static_cast<unsigned long long>(result.instructions_b));
+  } else {
+    std::printf("no rendezvous within budget: %s (closest approach %.6f)\n",
+                sim::to_string(result.reason).c_str(), result.min_distance_seen);
+  }
+  return result.met ? 0 : 1;
+}

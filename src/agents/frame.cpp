@@ -1,0 +1,30 @@
+#include "agents/frame.hpp"
+
+#include "support/check.hpp"
+
+namespace aurv::agents {
+
+AgentFrame::AgentFrame(geom::Similarity pose, numeric::Rational time_unit,
+                       numeric::Rational wake_time, double speed)
+    : pose_(pose),
+      time_unit_(std::move(time_unit)),
+      wake_time_(std::move(wake_time)),
+      speed_(speed) {
+  AURV_CHECK_MSG(time_unit_.sign() > 0, "time unit must be positive");
+  AURV_CHECK_MSG(wake_time_.sign() >= 0, "wake time must be nonnegative");
+  AURV_CHECK_MSG(speed_ > 0.0, "speed must be positive");
+}
+
+AgentFrame AgentFrame::for_a(const Instance&) {
+  return AgentFrame(geom::Similarity{}, 1, 0, 1.0);
+}
+
+AgentFrame AgentFrame::for_b(const Instance& instance) {
+  return AgentFrame(instance.b_pose(), instance.tau(), instance.t(), instance.v_d());
+}
+
+AgentFrame AgentFrame::for_agent(const Instance& instance, AgentId id) {
+  return id == AgentId::A ? for_a(instance) : for_b(instance);
+}
+
+}  // namespace aurv::agents

@@ -1,0 +1,63 @@
+// AgentFrame: everything needed to execute a mobility program written in an
+// agent's private coordinates/units as motion in absolute coordinates/time.
+//
+//   * pose          — local point -> absolute point (similarity transform)
+//   * time_unit     — one local time unit, in absolute time (exact rational)
+//   * wake_time     — absolute time at which the agent starts its program
+//   * speed         — absolute distance per absolute time unit while moving
+//
+// For agent A these are identity/1/0/1 by the paper's convention; for agent
+// B they derive from the instance tuple. One local length unit equals
+// time_unit * speed absolute units (the distance travelled during one local
+// time unit), so a go(d) instruction lasts d local time units for *every*
+// agent — a fact the paper's type-4 analysis relies on.
+#pragma once
+
+#include "agents/instance.hpp"
+#include "geom/similarity.hpp"
+#include "numeric/rational.hpp"
+
+namespace aurv::agents {
+
+enum class AgentId { A, B };
+
+class AgentFrame {
+ public:
+  AgentFrame(geom::Similarity pose, numeric::Rational time_unit, numeric::Rational wake_time,
+             double speed);
+
+  /// The frame of agent A (the absolute system) for any instance.
+  static AgentFrame for_a(const Instance& instance);
+  /// The frame of agent B derived from the instance tuple.
+  static AgentFrame for_b(const Instance& instance);
+  static AgentFrame for_agent(const Instance& instance, AgentId id);
+
+  [[nodiscard]] const geom::Similarity& pose() const noexcept { return pose_; }
+  [[nodiscard]] const numeric::Rational& time_unit() const noexcept { return time_unit_; }
+  [[nodiscard]] const numeric::Rational& wake_time() const noexcept { return wake_time_; }
+  [[nodiscard]] double speed() const noexcept { return speed_; }
+
+  [[nodiscard]] geom::Vec2 start_position() const noexcept { return pose_.translation(); }
+
+  /// One local length unit in absolute units.
+  [[nodiscard]] double length_unit() const noexcept { return time_unit_.to_double() * speed_; }
+
+  /// Absolute time at which `local_elapsed` local time units have passed
+  /// since wake-up.
+  [[nodiscard]] numeric::Rational absolute_time(const numeric::Rational& local_elapsed) const {
+    return wake_time_ + time_unit_ * local_elapsed;
+  }
+
+  /// Absolute heading of a ray with the given local heading.
+  [[nodiscard]] double absolute_heading(double local_heading) const noexcept {
+    return pose_.apply_heading(local_heading);
+  }
+
+ private:
+  geom::Similarity pose_;
+  numeric::Rational time_unit_;
+  numeric::Rational wake_time_;
+  double speed_;
+};
+
+}  // namespace aurv::agents

@@ -1,0 +1,76 @@
+#include "agents/instance.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "geom/angle.hpp"
+#include "support/check.hpp"
+
+namespace aurv::agents {
+
+Instance::Instance(double r, geom::Vec2 b_start, double phi, numeric::Rational tau,
+                   numeric::Rational v, numeric::Rational t, int chi)
+    : r_(r),
+      b_start_(b_start),
+      phi_(geom::normalize_angle(phi)),
+      tau_(std::move(tau)),
+      v_(std::move(v)),
+      t_(std::move(t)),
+      chi_(chi) {
+  AURV_CHECK_MSG(r_ > 0.0, "visibility radius must be positive");
+  AURV_CHECK_MSG(tau_.sign() > 0, "clock rate tau must be positive");
+  AURV_CHECK_MSG(v_.sign() > 0, "speed v must be positive");
+  AURV_CHECK_MSG(t_.sign() >= 0, "wake-up delay t must be nonnegative");
+  AURV_CHECK_MSG(chi_ == 1 || chi_ == -1, "chirality chi must be +1 or -1");
+  tau_d_ = tau_.to_double();
+  v_d_ = v_.to_double();
+  t_d_ = t_.to_double();
+}
+
+Instance Instance::synchronous(double r, geom::Vec2 b_start, double phi, numeric::Rational t,
+                               int chi) {
+  return Instance(r, b_start, phi, 1, 1, std::move(t), chi);
+}
+
+bool Instance::is_synchronous() const noexcept {
+  return tau_ == numeric::Rational(1) && v_ == numeric::Rational(1);
+}
+
+numeric::Rational Instance::b_length_unit() const { return tau_ * v_; }
+
+Instance Instance::halved_radius_zero_delay() const {
+  return Instance(r_ / 2.0, b_start_, phi_, tau_, v_, 0, chi_);
+}
+
+Instance Instance::with_radius(double new_r) const {
+  return Instance(new_r, b_start_, phi_, tau_, v_, t_, chi_);
+}
+
+Instance Instance::with_delay(numeric::Rational new_t) const {
+  return Instance(r_, b_start_, phi_, tau_, v_, std::move(new_t), chi_);
+}
+
+Instance Instance::mirrored() const {
+  AURV_CHECK_MSG(t_.is_zero(), "mirrored() requires simultaneous wake-up (t = 0)");
+  // B becomes the reference. A's position in B's private system, in B's
+  // length units, is the inverse pose applied to the absolute origin.
+  const geom::Vec2 a_in_b = b_pose().inverse().apply(geom::Vec2{0.0, 0.0});
+  // Rotating B's system counterclockwise *in B's own handedness* by phi'
+  // aligns the x-axes: phi' = -phi for chi = +1 (B ccw is absolute ccw),
+  // phi' = phi for chi = -1 (B ccw appears cw in absolute terms).
+  const double phi_mirror =
+      chi_ == 1 ? geom::normalize_angle(-phi_) : phi_;
+  // r in B's length units; A's time unit and speed in B's units.
+  const double u_b = b_length_unit_d();
+  return Instance(r_ / u_b, a_in_b, phi_mirror, tau_.reciprocal(), v_.reciprocal(), 0, chi_);
+}
+
+std::string Instance::to_string() const {
+  std::ostringstream os;
+  os << "Instance(r=" << r_ << ", b=(" << b_start_.x << ", " << b_start_.y << ")"
+     << ", phi=" << phi_ << ", tau=" << tau_.to_string() << ", v=" << v_.to_string()
+     << ", t=" << t_.to_string() << ", chi=" << (chi_ > 0 ? "+1" : "-1") << ")";
+  return os.str();
+}
+
+}  // namespace aurv::agents

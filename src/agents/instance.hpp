@@ -1,0 +1,110 @@
+// The instance tuple of the rendezvous problem (Section 1.2 of the paper):
+//
+//   I = (r, x, y, phi, tau, v, t, chi)
+//
+// describing agent B relative to agent A, where by convention A is the
+// agent woken up first, its coordinate system is the absolute one, its
+// clock rate and speed are 1 and its wake-up time is 0:
+//
+//   r   > 0   visibility radius (absolute length units)
+//   (x,y)     B's initial position in A's system
+//   phi in [0, 2pi)  rotation between the x-axes
+//   tau > 0   B's time unit, in absolute time units      (exact rational)
+//   v   > 0   B's speed, in absolute units               (exact rational)
+//   t  >= 0   B's wake-up delay, in absolute time units  (exact rational)
+//   chi in {+1, -1}   chirality agreement
+//
+// tau, v and t are exact rationals because event times in the simulator are
+// exact; their double views are cached for geometry. B's private length
+// unit is tau*v absolute units (it travels for one of its time units at
+// speed v).
+#pragma once
+
+#include <string>
+
+#include "geom/canonical_line.hpp"
+#include "geom/similarity.hpp"
+#include "geom/vec2.hpp"
+#include "numeric/rational.hpp"
+
+namespace aurv::agents {
+
+class Instance {
+ public:
+  /// Validates and normalizes the parameters (phi reduced to [0, 2pi)).
+  /// Throws std::logic_error (via AURV_CHECK) on invalid input:
+  /// r <= 0, tau <= 0, v <= 0, t < 0 or chi not in {+1, -1}.
+  Instance(double r, geom::Vec2 b_start, double phi, numeric::Rational tau,
+           numeric::Rational v, numeric::Rational t, int chi);
+
+  /// Synchronous instance (tau = v = 1) shorthand.
+  static Instance synchronous(double r, geom::Vec2 b_start, double phi, numeric::Rational t,
+                              int chi);
+
+  [[nodiscard]] double r() const noexcept { return r_; }
+  [[nodiscard]] geom::Vec2 b_start() const noexcept { return b_start_; }
+  [[nodiscard]] double phi() const noexcept { return phi_; }
+  [[nodiscard]] const numeric::Rational& tau() const noexcept { return tau_; }
+  [[nodiscard]] const numeric::Rational& v() const noexcept { return v_; }
+  [[nodiscard]] const numeric::Rational& t() const noexcept { return t_; }
+  [[nodiscard]] int chi() const noexcept { return chi_; }
+
+  [[nodiscard]] double tau_d() const noexcept { return tau_d_; }
+  [[nodiscard]] double v_d() const noexcept { return v_d_; }
+  [[nodiscard]] double t_d() const noexcept { return t_d_; }
+
+  /// tau = v = 1 exactly (the paper's "synchronous").
+  [[nodiscard]] bool is_synchronous() const noexcept;
+
+  /// B's private length unit in absolute units: tau * v.
+  [[nodiscard]] numeric::Rational b_length_unit() const;
+  [[nodiscard]] double b_length_unit_d() const noexcept { return tau_d_ * v_d_; }
+
+  /// Euclidean distance between the initial positions.
+  [[nodiscard]] double initial_distance() const noexcept { return b_start_.norm(); }
+
+  /// The canonical line of the instance (Definition 2.1).
+  [[nodiscard]] geom::Line canonical_line() const { return geom::canonical_line(b_start_, phi_); }
+
+  /// dist(proj_A, proj_B) onto the canonical line.
+  [[nodiscard]] double projection_distance() const {
+    return geom::projection_distance(b_start_, phi_);
+  }
+
+  /// Local-to-absolute map of agent B's coordinate system.
+  [[nodiscard]] geom::Similarity b_pose() const {
+    return geom::Similarity(b_start_, phi_, chi_, b_length_unit_d());
+  }
+
+  /// The paper's h(.) map (Section 3.1.1, type-4 analysis): same instance
+  /// with visibility radius halved and wake-up delay zeroed.
+  [[nodiscard]] Instance halved_radius_zero_delay() const;
+
+  /// Same instance with a different visibility radius.
+  [[nodiscard]] Instance with_radius(double new_r) const;
+
+  /// Same instance with a different wake-up delay.
+  [[nodiscard]] Instance with_delay(numeric::Rational new_t) const;
+
+  /// The same physical configuration described from agent B's perspective
+  /// (B becomes the reference agent with unit clock/speed). Valid only for
+  /// t = 0 (otherwise B is not the first-woken agent and the tuple
+  /// convention does not apply); checked.
+  [[nodiscard]] Instance mirrored() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  double r_;
+  geom::Vec2 b_start_;
+  double phi_;
+  numeric::Rational tau_;
+  numeric::Rational v_;
+  numeric::Rational t_;
+  int chi_;
+  double tau_d_;
+  double v_d_;
+  double t_d_;
+};
+
+}  // namespace aurv::agents

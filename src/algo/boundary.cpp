@@ -1,0 +1,59 @@
+#include "algo/boundary.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "geom/angle.hpp"
+#include "geom/canonical_line.hpp"
+#include "program/combinators.hpp"
+#include "support/check.hpp"
+
+namespace aurv::algo {
+
+using numeric::Rational;
+using program::Instruction;
+using program::Program;
+
+Program boundary_s1_algorithm(const agents::Instance& instance) {
+  AURV_CHECK_MSG(instance.is_synchronous() && instance.chi() == 1 && instance.phi() == 0.0,
+                 "boundary_s1_algorithm: requires synchronous, chi=+1, phi=0");
+  const double d = instance.initial_distance();
+  AURV_CHECK_MSG(instance.t_d() >= d - instance.r() - 1e-12,
+                 "boundary_s1_algorithm: requires t >= dist - r (feasibility, Lemma 3.8)");
+  std::vector<Instruction> moves;
+  if (d > instance.r()) {
+    const geom::Vec2 target = instance.b_start();
+    const double heading = std::atan2(target.y, target.x);
+    moves.push_back(program::go(heading, Rational::from_double(d - instance.r())));
+  }
+  return program::replay(std::move(moves));
+}
+
+Program boundary_s2_algorithm(const agents::Instance& instance) {
+  AURV_CHECK_MSG(instance.is_synchronous() && instance.chi() == -1,
+                 "boundary_s2_algorithm: requires synchronous, chi=-1");
+  const double dp = instance.projection_distance();
+  AURV_CHECK_MSG(instance.t_d() >= dp - instance.r() - 1e-12,
+                 "boundary_s2_algorithm: requires t >= dist(projA,projB) - r (Lemma 3.9)");
+  // The canonical line has the same equation in both private systems
+  // (Lemma 3.9 / the reflection symmetry of chi = -1 instances), so each
+  // agent computes it from the common tuple in its own coordinates.
+  const geom::Line line = geom::canonical_line(instance.b_start(), instance.phi());
+  const geom::Vec2 foot = line.project(geom::Vec2{0.0, 0.0});
+
+  std::vector<Instruction> moves;
+  const double reach = foot.norm();
+  if (reach > 0.0) {
+    moves.push_back(program::go(std::atan2(foot.y, foot.x), Rational::from_double(reach)));
+  }
+  if (instance.t().sign() > 0) {
+    // North/South of the local system Rot((phi+pi)/2): headings offset by
+    // (phi+pi)/2 from the local axes. Both agents' Norths agree along L.
+    const double rot = (instance.phi() + geom::kPi) / 2.0;
+    moves.push_back(program::go(rot + geom::kPi / 2.0, instance.t()));
+    moves.push_back(program::go(rot + 3.0 * geom::kPi / 2.0, instance.t()));
+  }
+  return program::replay(std::move(moves));
+}
+
+}  // namespace aurv::algo

@@ -1,0 +1,33 @@
+// Dedicated per-instance algorithms for the two exception sets S1 and S2 —
+// the instances AlmostUniversalRV provably cannot cover (Section 4), yet
+// which are individually feasible (the boundary cases of Lemmas 3.8/3.9).
+// Unlike AlmostUniversalRV, these algorithms receive the instance tuple as
+// input; they still respect anonymity (both agents run the same program and
+// do not know which agent of the tuple they are).
+#pragma once
+
+#include "agents/instance.hpp"
+#include "program/instruction.hpp"
+
+namespace aurv::algo {
+
+/// Dedicated algorithm for S1 instances: synchronous, chi = +1, phi = 0,
+/// t = dist((0,0),(x,y)) - r. Each agent moves distance dist - r in its
+/// local direction of (x,y) (the frames are shifts of each other, so both
+/// move in the same absolute direction); the earlier agent reaches distance
+/// exactly r from the still-sleeping later agent at the instant t it wakes.
+/// Requires a synchronous chi=+1, phi=0 instance with t >= dist - r
+/// (checked); works for the whole closed region, boundary included.
+[[nodiscard]] program::Program boundary_s1_algorithm(const agents::Instance& instance);
+
+/// Dedicated algorithm for S2 instances (Lemma 3.9's construction):
+/// synchronous, chi = -1, t = dist(projA, projB) - r. Each agent computes
+/// the canonical line L of the tuple (same equation in both private
+/// systems), moves to the orthogonal projection of its origin onto L, then
+/// in the local system Rot((phi+pi)/2) goes North t and South t — both
+/// agents' rotated Norths coincide along L because chi = -1.
+/// Requires a synchronous chi=-1 instance with t >= dist(projA,projB) - r
+/// (checked); works for the whole closed region, boundary included.
+[[nodiscard]] program::Program boundary_s2_algorithm(const agents::Instance& instance);
+
+}  // namespace aurv::algo

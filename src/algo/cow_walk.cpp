@@ -1,0 +1,77 @@
+#include "algo/cow_walk.hpp"
+
+#include "support/check.hpp"
+
+namespace aurv::algo {
+
+using numeric::Rational;
+using program::go_east;
+using program::go_north;
+using program::go_south;
+using program::go_west;
+using program::Instruction;
+using program::Program;
+
+namespace {
+
+// Coroutine bodies are wrapped by eager-checking functions below so that
+// argument validation throws at the call site, not at the first next().
+
+// Yielded instructions are bound to named locals before co_yield; see the
+// generator.hpp note on the GCC 12 temporary-destruction bug.
+
+Program linear_cow_walk_impl(std::uint32_t i) {
+  for (std::uint32_t j = 1; j <= i; ++j) {
+    const Instruction out_east = go_east(Rational::pow2(j));
+    const Instruction out_west = go_west(Rational::pow2(j + 1));
+    co_yield out_east;
+    co_yield out_west;
+    co_yield out_east;
+  }
+}
+
+Program planar_cow_walk_impl(std::uint32_t i) {
+  const Rational step = Rational::dyadic(1, i);             // 1/2^i
+  const Rational sweep = Rational::pow2(i);                 // 2^i
+  const std::uint64_t rungs = std::uint64_t{1} << (2 * i);  // 2^(2i)
+
+  for (const Instruction& instruction : linear_cow_walk_impl(i)) co_yield instruction;
+  for (int pass = 1; pass <= 2; ++pass) {
+    const Instruction rung_step = pass == 1 ? go_north(step) : go_south(step);
+    for (std::uint64_t k = 0; k < rungs; ++k) {
+      co_yield rung_step;
+      for (const Instruction& instruction : linear_cow_walk_impl(i)) co_yield instruction;
+    }
+    const Instruction return_sweep = pass == 1 ? go_south(sweep) : go_north(sweep);
+    co_yield return_sweep;
+  }
+}
+
+}  // namespace
+
+Program linear_cow_walk(std::uint32_t i) {
+  AURV_CHECK_MSG(i >= 1 && i <= kMaxCowWalkIndex, "linear_cow_walk: index out of range");
+  return linear_cow_walk_impl(i);
+}
+
+Program planar_cow_walk(std::uint32_t i) {
+  AURV_CHECK_MSG(i >= 1 && i <= kMaxCowWalkIndex, "planar_cow_walk: index out of range");
+  return planar_cow_walk_impl(i);
+}
+
+Rational linear_cow_walk_duration(std::uint32_t i) {
+  AURV_CHECK_MSG(i >= 1 && i <= kMaxCowWalkIndex, "linear_cow_walk_duration: out of range");
+  // sum_{j=1..i} (2^j + 2^(j+1) + 2^j) = sum 2^(j+2) = 2^(i+3) - 8.
+  return Rational::pow2(i + 3) - Rational(8);
+}
+
+Rational planar_cow_walk_duration(std::uint32_t i) {
+  AURV_CHECK_MSG(i >= 1 && i <= kMaxCowWalkIndex, "planar_cow_walk_duration: out of range");
+  const Rational lcw = linear_cow_walk_duration(i);
+  const Rational rungs(numeric::BigInt::pow2(2 * i));
+  // (2*2^(2i) + 1) LinearCowWalks, 2*2^(2i) rung steps of 1/2^i, two sweeps 2^i.
+  return (Rational(2) * rungs + Rational(1)) * lcw +
+         Rational(2) * rungs * Rational::dyadic(1, i) + Rational(2) * Rational::pow2(i);
+}
+
+}  // namespace aurv::algo

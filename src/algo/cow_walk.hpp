@@ -1,0 +1,39 @@
+// The paper's two search procedures:
+//
+//   LinearCowWalk(i)  (Algorithm 3) — the first i doubling steps of the
+//   classic cow-path linear search: for j = 1..i, go East 2^j, West 2^(j+1),
+//   East 2^j. Visits every point of the local x-axis within distance 2^i
+//   and returns to its start.
+//
+//   PlanarCowWalk(i)  (Algorithm 2) — a LinearCowWalk(i) from every point
+//   (0, k/2^i), |k| <= 2^(2i), of the local y-axis: sweeps up from y = 0 to
+//   y = 2^i in 1/2^i steps, returns, sweeps down to y = -2^i, returns.
+//   Gets within 1/2^i local units of every point of the square
+//   [-2^i, 2^i]^2 (Claim 3.7) and returns to its start (Lemma 3.1).
+//
+// Both are finite programs; i is capped at 30 so iteration counts (2^(2i))
+// fit comfortably in 64 bits — the simulator's event fuel is exhausted long
+// before that bound matters.
+#pragma once
+
+#include <cstdint>
+
+#include "program/instruction.hpp"
+
+namespace aurv::algo {
+
+inline constexpr std::uint32_t kMaxCowWalkIndex = 30;
+
+/// Algorithm 3. Requires 1 <= i <= kMaxCowWalkIndex (checked).
+[[nodiscard]] program::Program linear_cow_walk(std::uint32_t i);
+
+/// Algorithm 2. Requires 1 <= i <= kMaxCowWalkIndex (checked).
+[[nodiscard]] program::Program planar_cow_walk(std::uint32_t i);
+
+/// Total local duration of LinearCowWalk(i): sum_j 2^(j+2) = 2^(i+3) - 8.
+[[nodiscard]] numeric::Rational linear_cow_walk_duration(std::uint32_t i);
+
+/// Total local duration of PlanarCowWalk(i).
+[[nodiscard]] numeric::Rational planar_cow_walk_duration(std::uint32_t i);
+
+}  // namespace aurv::algo

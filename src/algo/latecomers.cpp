@@ -1,0 +1,31 @@
+#include "algo/latecomers.hpp"
+
+#include "geom/angle.hpp"
+#include "support/check.hpp"
+
+namespace aurv::algo {
+
+using numeric::Rational;
+using program::Program;
+
+Program latecomers() {
+  for (std::uint32_t i = 1;; ++i) {
+    AURV_CHECK_MSG(i <= 62, "latecomers: phase index overflow");
+    const Rational reach = Rational::pow2(i);
+    const std::uint64_t directions = std::uint64_t{1} << (i + 1);  // 2^(i+1)
+    for (std::uint64_t k = 0; k < directions; ++k) {
+      const double theta = geom::dyadic_angle(static_cast<std::int64_t>(k), i);
+      const program::Instruction out = program::go(theta, reach);
+      const program::Instruction back = program::go(theta + geom::kPi, reach);
+      co_yield out;
+      co_yield back;
+    }
+  }
+}
+
+Rational latecomers_phase_duration(std::uint32_t i) {
+  // 2^(i+1) directions, each an out-and-back of 2 * 2^i time units.
+  return Rational::pow2(i + 1) * Rational::pow2(i + 1);
+}
+
+}  // namespace aurv::algo

@@ -1,0 +1,106 @@
+#include "algo/spiral.hpp"
+#include <cstdlib>
+
+#include "support/check.hpp"
+
+namespace aurv::algo {
+
+namespace {
+
+using numeric::Rational;
+using program::Instruction;
+using program::Program;
+
+// Leg structure of the standard expanding square spiral with pitch p:
+// E p, N p, W 2p, S 2p, E 3p, N 3p, W 4p, S 4p, ... — leg k (1-based) has
+// length ceil(k/2) * p and direction cycling E, N, W, S. After leg k the
+// spiral's bounding half-side is ceil(k/2) * p; covering half-side 2^i
+// therefore needs k up to 2 * 2^(2i).
+
+constexpr double kHeadings[4] = {0.0, 1.57079632679489661923, 3.14159265358979323846,
+                                 4.71238898038468985769};
+
+struct LegPlan {
+  std::uint64_t legs;       // number of spiral legs
+  std::int64_t end_x_steps; // net displacement at the end, in pitch units
+  std::int64_t end_y_steps;
+};
+
+LegPlan plan_legs(std::uint32_t i) {
+  const std::int64_t target_steps = std::int64_t{1} << (2 * i);  // 2^i / (1/2^i)
+  std::int64_t x = 0;
+  std::int64_t y = 0;
+  std::uint64_t k = 0;
+  while (true) {
+    ++k;
+    const std::int64_t length = static_cast<std::int64_t>((k + 1) / 2);
+    switch (k % 4) {
+      case 1: x += length; break;  // E
+      case 2: y += length; break;  // N
+      case 3: x -= length; break;  // W
+      case 0: y -= length; break;  // S
+    }
+    // The spiral's bounding half-side is ~length/2 (E-legs push the east
+    // edge to ceil(length/2), W-legs the west edge to -length/2), so the
+    // legs must reach twice the target half-side, plus a ring of margin so
+    // the outermost full ring strictly encloses the square's corners.
+    if (length >= 2 * target_steps + 2) {
+      if (k % 4 == 0) return {k, x, y};  // close the ring on a South leg
+    }
+  }
+}
+
+Program spiral_search_impl(std::uint32_t i) {
+  const Rational pitch = Rational::dyadic(1, i);
+  const LegPlan plan = plan_legs(i);
+  for (std::uint64_t k = 1; k <= plan.legs; ++k) {
+    const std::int64_t length = static_cast<std::int64_t>((k + 1) / 2);
+    const Instruction leg =
+        program::go(kHeadings[k % 4 == 0 ? 3 : (k % 4) - 1], Rational(length) * pitch);
+    co_yield leg;
+  }
+  // Axis-aligned return to the start (Lemma 3.1-style composability).
+  if (plan.end_x_steps != 0) {
+    const Instruction back_x =
+        program::go(plan.end_x_steps > 0 ? program::kWest : program::kEast,
+                    Rational(std::abs(plan.end_x_steps)) * pitch);
+    co_yield back_x;
+  }
+  if (plan.end_y_steps != 0) {
+    const Instruction back_y =
+        program::go(plan.end_y_steps > 0 ? program::kSouth : program::kNorth,
+                    Rational(std::abs(plan.end_y_steps)) * pitch);
+    co_yield back_y;
+  }
+}
+
+}  // namespace
+
+Program spiral_search(std::uint32_t i) {
+  AURV_CHECK_MSG(i >= 1 && i <= kMaxSpiralIndex, "spiral_search: index out of range");
+  return spiral_search_impl(i);
+}
+
+Rational spiral_search_duration(std::uint32_t i) {
+  AURV_CHECK_MSG(i >= 1 && i <= kMaxSpiralIndex, "spiral_search_duration: out of range");
+  const LegPlan plan = plan_legs(i);
+  // Sum of leg lengths: sum_{k=1..K} ceil(k/2); plus the return legs.
+  numeric::BigInt steps(0);
+  for (std::uint64_t k = 1; k <= plan.legs; ++k) {
+    steps += numeric::BigInt(static_cast<long long>((k + 1) / 2));
+  }
+  steps += numeric::BigInt(std::abs(plan.end_x_steps));
+  steps += numeric::BigInt(std::abs(plan.end_y_steps));
+  return Rational(steps) * Rational::dyadic(1, i);
+}
+
+Program cgkk_spiral() {
+  for (std::uint32_t i = 1;; ++i) {
+    AURV_CHECK_MSG(i <= kMaxSpiralIndex, "cgkk_spiral: phase index overflow");
+    for (const program::Instruction& instruction : spiral_search_impl(i)) {
+      co_yield instruction;
+    }
+  }
+}
+
+}  // namespace aurv::algo

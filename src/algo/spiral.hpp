@@ -1,0 +1,40 @@
+// SpiralSearch — the alternative planar search procedure the paper mentions
+// in Section 3.1.1 ("there are multiple ways of designing such a procedure,
+// for instance via spiral movements or via series of parallel linear
+// searches"; Algorithm 1 uses the latter, PlanarCowWalk). Implemented to
+// make that design choice an executable ablation (TAB-8): an expanding
+// square spiral of pitch 1/2^i covering the square [-2^i, 2^i]^2, followed
+// by an axis-aligned return to the start so it composes like PlanarCowWalk
+// (Lemma 3.1's return-to-start invariant).
+//
+// Coverage: consecutive spiral arms are one pitch apart, so every point of
+// the square is within 1/2^i local units of the path — the same guarantee
+// Claim 3.7 gives for PlanarCowWalk — at roughly a quarter of the walked
+// length (the cow walk re-traverses each rung line three times and returns
+// to the axis after every rung; the spiral visits each arm once).
+#pragma once
+
+#include <cstdint>
+
+#include "program/instruction.hpp"
+
+namespace aurv::algo {
+
+/// Spiral phases are capped lower than cow walks: the duration helper
+/// iterates the legs (4 * 2^(2i) of them).
+inline constexpr std::uint32_t kMaxSpiralIndex = 12;
+
+/// The expanding square spiral of phase i. Requires 1 <= i <=
+/// kMaxSpiralIndex (checked). Finite; starts and ends at the origin.
+[[nodiscard]] program::Program spiral_search(std::uint32_t i);
+
+/// Total local duration of spiral_search(i) (exact).
+[[nodiscard]] numeric::Rational spiral_search_duration(std::uint32_t i);
+
+/// CGKK variant built on the spiral instead of PlanarCowWalk: iterated
+/// spiral_search(i), i = 1, 2, .... Satisfies the same lock-step fixed-point
+/// contract (any expanding search with vanishing resolution does); TAB-8
+/// compares the two on type-4 instances.
+[[nodiscard]] program::Program cgkk_spiral();
+
+}  // namespace aurv::algo

@@ -1,0 +1,22 @@
+// WaitAndSearch — the type-3 strategy of Algorithm 1 (Lemma 3.4) packaged
+// as a standalone procedure: in phase i wait 2^(15 i^2) local time units,
+// then run PlanarCowWalk(i).
+//
+// When the agents' clock rates differ (tau != 1) the waits desynchronize
+// them: by the phase bound of Lemma 3.4 the faster-clocked agent executes
+// an entire planar search while the slower one is still waiting at its
+// start, and the search covers the slower agent's position. Exposed
+// standalone because it solves every tau != 1 instance (any delay t) by
+// itself, which the TAB-2 experiments exercise.
+#pragma once
+
+#include "program/instruction.hpp"
+
+namespace aurv::algo {
+
+[[nodiscard]] program::Program wait_and_search();
+
+/// The wait length of phase i: 2^(15 i^2) local time units.
+[[nodiscard]] numeric::Rational wait_and_search_pause(std::uint32_t i);
+
+}  // namespace aurv::algo

@@ -1,0 +1,99 @@
+#include "core/adversary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/angle.hpp"
+#include "program/combinators.hpp"
+#include "support/check.hpp"
+
+namespace aurv::core {
+
+using numeric::Rational;
+
+std::vector<double> prefix_directions(const sim::AlgorithmFactory& algorithm,
+                                      const Rational& horizon, bool period_pi,
+                                      std::size_t max_instructions) {
+  const std::vector<program::Instruction> prefix =
+      program::take_duration_capped(algorithm(), horizon, max_instructions);
+  std::vector<double> directions;
+  directions.reserve(prefix.size());
+  for (const program::Instruction& instruction : prefix) {
+    if (const auto* move = std::get_if<program::Go>(&instruction)) {
+      if (move->distance.is_zero()) continue;
+      double d = geom::normalize_angle(move->heading);
+      if (period_pi && d >= geom::kPi) d -= geom::kPi;
+      directions.push_back(d);
+    }
+  }
+  std::sort(directions.begin(), directions.end());
+  // Dedup directions closer than ~1 micro-radian; the adversary only needs
+  // the gap structure, not exact multiplicities.
+  constexpr double kEps = 1e-6;
+  std::vector<double> unique;
+  for (const double d : directions) {
+    if (unique.empty() || d - unique.back() > kEps) unique.push_back(d);
+  }
+  return unique;
+}
+
+double largest_gap_midpoint(std::vector<double> directions, double period) {
+  AURV_CHECK_MSG(period > 0.0, "largest_gap_midpoint: period must be positive");
+  if (directions.empty()) return period / 4.0;
+  std::sort(directions.begin(), directions.end());
+  double best_gap = period - directions.back() + directions.front();  // wrap-around gap
+  double best_mid = directions.back() + best_gap / 2.0;
+  if (best_mid >= period) best_mid -= period;
+  for (std::size_t k = 0; k + 1 < directions.size(); ++k) {
+    const double gap = directions[k + 1] - directions[k];
+    if (gap > best_gap) {
+      best_gap = gap;
+      best_mid = directions[k] + gap / 2.0;
+    }
+  }
+  return best_mid;
+}
+
+AdversaryReport construct_s1_counterexample(const sim::AlgorithmFactory& algorithm,
+                                            const AdversaryConfig& config) {
+  // S1: rendezvous at t = dist - r requires the earlier agent to cover a
+  // straight full-speed run of length >= t in the exact ray direction of
+  // (x,y) (see header). Aim (x,y) into the largest unused ray gap.
+  std::vector<double> used = prefix_directions(algorithm, config.analysis_horizon,
+                                               /*period_pi=*/false, config.max_instructions);
+  const double theta = largest_gap_midpoint(used, geom::kTwoPi);
+  double gap = geom::kTwoPi;
+  for (const double d : used) gap = std::min(gap, geom::ray_angle_between(theta, d));
+
+  const double dist = config.t.to_double() + config.r;  // boundary: t = dist - r
+  const geom::Vec2 b_start = dist * geom::unit_vector(theta);
+  agents::Instance instance =
+      agents::Instance::synchronous(config.r, b_start, /*phi=*/0.0, config.t, /*chi=*/+1);
+  return {std::move(instance), theta, used.size(), used.empty() ? geom::kTwoPi : gap};
+}
+
+AdversaryReport construct_s2_counterexample(const sim::AlgorithmFactory& algorithm,
+                                            const AdversaryConfig& config) {
+  // S2 (Theorem 4.1): rendezvous at t = dist(projA,projB) - r requires a
+  // segment of inclination exactly phi/2 (Claim 4.1). Pick phi/2 in the
+  // largest gap of the prefix's *line inclinations*.
+  std::vector<double> used = prefix_directions(algorithm, config.analysis_horizon,
+                                               /*period_pi=*/true, config.max_instructions);
+  const double half_phi = largest_gap_midpoint(used, geom::kPi);
+  double gap = geom::kPi;
+  for (const double d : used) gap = std::min(gap, geom::line_angle_between(half_phi, d));
+
+  // Place B so the projections onto the canonical line (inclination phi/2)
+  // are dist_proj = t + r apart, with the agents straddling the line by the
+  // configured lateral offset.
+  const double dist_proj = config.t.to_double() + config.r;  // boundary: t = dist_proj - r
+  const geom::Vec2 along = geom::unit_vector(half_phi);
+  const geom::Vec2 across = along.perp();
+  const geom::Vec2 b_start = dist_proj * along + config.lateral_offset * across;
+  const double phi = geom::normalize_angle(2.0 * half_phi);
+  agents::Instance instance =
+      agents::Instance::synchronous(config.r, b_start, phi, config.t, /*chi=*/-1);
+  return {std::move(instance), half_phi, used.size(), used.empty() ? geom::kPi : gap};
+}
+
+}  // namespace aurv::core

@@ -1,0 +1,75 @@
+// Adversarial instance construction for the impossibility results:
+//
+//   Theorem 4.1 — no single algorithm solves every S2 instance
+//   (synchronous, chi = -1, t = dist(projA,projB) - r), and the analogous
+//   result imported from [38] for S1 (synchronous, chi = +1, phi = 0,
+//   t = dist - r).
+//
+// Both proofs are diagonalizations over directions: on the S2 boundary,
+// rendezvous forces the earlier agent to traverse a straight segment of
+// inclination exactly phi/2 (Claim 4.1); on the S1 boundary it forces a
+// full-speed straight run of length >= t in the exact ray direction of
+// (x,y). A fixed deterministic algorithm uses countably many segment
+// directions, so an adversary picks a direction it never uses.
+//
+// The executable counterpart: given any algorithm and an analysis horizon,
+// extract the directions of its solo trajectory prefix, pick the midpoint
+// of the largest angular gap, and build the boundary instance aimed there.
+// The experiments then verify (a) the algorithm does not meet within the
+// horizon and keeps min distance > r, and (b) the same instance is solved
+// by its dedicated boundary algorithm — "we miss little and cannot avoid
+// it altogether".
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "agents/instance.hpp"
+#include "numeric/rational.hpp"
+#include "sim/engine.hpp"
+
+namespace aurv::core {
+
+struct AdversaryConfig {
+  /// Local-time length of the solo trajectory prefix to analyze.
+  numeric::Rational analysis_horizon = 4096;
+  /// Visibility radius of the constructed instance.
+  double r = 1.0;
+  /// Wake-up delay of the constructed instance (boundary position follows).
+  numeric::Rational t = 2;
+  /// S2 only: distance between the two agents measured across the canonical
+  /// line (each agent sits at half of it on either side).
+  double lateral_offset = 1.4;
+  /// Cap on materialized prefix instructions.
+  std::size_t max_instructions = 20'000'000;
+};
+
+struct AdversaryReport {
+  agents::Instance instance;        ///< the defeating boundary instance
+  double chosen_direction = 0.0;    ///< ray direction (S1) / line inclination phi/2 (S2)
+  std::size_t directions_used = 0;  ///< distinct prefix directions (after dedup)
+  double angular_gap = 0.0;         ///< margin to the nearest used direction
+};
+
+/// Builds an S1 instance the given algorithm cannot solve (within any
+/// horizon that only exercises the analyzed prefix).
+[[nodiscard]] AdversaryReport construct_s1_counterexample(const sim::AlgorithmFactory& algorithm,
+                                                          const AdversaryConfig& config = {});
+
+/// Builds an S2 instance the given algorithm cannot solve, per Theorem 4.1.
+[[nodiscard]] AdversaryReport construct_s2_counterexample(const sim::AlgorithmFactory& algorithm,
+                                                          const AdversaryConfig& config = {});
+
+/// The distinct ray directions (period 2*pi, `period_pi` false) or line
+/// inclinations (period pi, `period_pi` true) of the moves in a trajectory
+/// prefix. Exposed for tests and the TAB-4 bench.
+[[nodiscard]] std::vector<double> prefix_directions(const sim::AlgorithmFactory& algorithm,
+                                                    const numeric::Rational& horizon,
+                                                    bool period_pi,
+                                                    std::size_t max_instructions);
+
+/// Midpoint of the largest gap of `directions` on the circle of the given
+/// period (returns period/4 for an empty set). Exposed for tests.
+[[nodiscard]] double largest_gap_midpoint(std::vector<double> directions, double period);
+
+}  // namespace aurv::core

@@ -1,0 +1,102 @@
+#include "core/feasibility.hpp"
+
+#include <cmath>
+
+namespace aurv::core {
+
+std::string to_string(InstanceKind kind) {
+  switch (kind) {
+    case InstanceKind::TrivialOverlap: return "trivial-overlap";
+    case InstanceKind::Type1: return "type-1";
+    case InstanceKind::Type2: return "type-2";
+    case InstanceKind::Type3: return "type-3";
+    case InstanceKind::Type4: return "type-4";
+    case InstanceKind::BoundaryS1: return "boundary-S1";
+    case InstanceKind::BoundaryS2: return "boundary-S2";
+    case InstanceKind::Infeasible: return "infeasible";
+  }
+  return "unknown";
+}
+
+Classification classify(const agents::Instance& instance, double boundary_eps) {
+  Classification result;
+  result.synchronous = instance.is_synchronous();
+
+  if (instance.initial_distance() <= instance.r()) {
+    result.kind = InstanceKind::TrivialOverlap;
+    result.feasible = true;
+    result.covered_by_aurv = true;
+    result.clause = "r >= dist((0,0),(x,y)): agents see each other at time 0";
+    return result;
+  }
+
+  if (!result.synchronous) {
+    // Theorem 3.1(1): every non-synchronous instance is feasible; Algorithm 1
+    // handles tau != 1 in its type-3 block, and tau = 1 (so v != 1) in its
+    // type-4 block.
+    result.feasible = true;
+    result.covered_by_aurv = true;
+    const bool tau_not_one = instance.tau() != numeric::Rational(1);
+    result.kind = tau_not_one ? InstanceKind::Type3 : InstanceKind::Type4;
+    result.clause = "Theorem 3.1(1): non-synchronous instances are feasible";
+    return result;
+  }
+
+  if (instance.chi() == 1) {
+    if (instance.phi() != 0.0) {
+      // Theorem 3.1(2a).
+      result.feasible = true;
+      result.covered_by_aurv = true;
+      result.kind = InstanceKind::Type4;
+      result.clause = "Theorem 3.1(2a): chi=+1 and phi!=0";
+      return result;
+    }
+    const double slack = instance.t_d() - (instance.initial_distance() - instance.r());
+    result.boundary_slack = slack;
+    if (slack > boundary_eps) {
+      result.feasible = true;
+      result.covered_by_aurv = true;
+      result.kind = InstanceKind::Type2;
+      result.clause = "Theorem 3.1(2b): chi=+1, phi=0, t > dist - r";
+    } else if (slack >= -boundary_eps) {
+      result.feasible = true;
+      result.covered_by_aurv = false;
+      result.kind = InstanceKind::BoundaryS1;
+      result.clause = "Theorem 3.1(2b) boundary: t = dist - r (set S1, Section 4)";
+    } else {
+      result.kind = InstanceKind::Infeasible;
+      result.clause = "Theorem 3.1(2b) violated: chi=+1, phi=0, t < dist - r";
+    }
+    return result;
+  }
+
+  // chi = -1, synchronous: Theorem 3.1(2c).
+  const double slack =
+      instance.t_d() - (instance.projection_distance() - instance.r());
+  result.boundary_slack = slack;
+  if (slack > boundary_eps) {
+    result.feasible = true;
+    result.covered_by_aurv = true;
+    result.kind = InstanceKind::Type1;
+    result.clause = "Theorem 3.1(2c): chi=-1, t > dist(projA,projB) - r";
+  } else if (slack >= -boundary_eps) {
+    result.feasible = true;
+    result.covered_by_aurv = false;
+    result.kind = InstanceKind::BoundaryS2;
+    result.clause = "Theorem 3.1(2c) boundary: t = dist(projA,projB) - r (set S2, Section 4)";
+  } else {
+    result.kind = InstanceKind::Infeasible;
+    result.clause = "Theorem 3.1(2c) violated: chi=-1, t < dist(projA,projB) - r";
+  }
+  return result;
+}
+
+bool is_feasible(const agents::Instance& instance, double boundary_eps) {
+  return classify(instance, boundary_eps).feasible;
+}
+
+bool is_covered_by_aurv(const agents::Instance& instance, double boundary_eps) {
+  return classify(instance, boundary_eps).covered_by_aurv;
+}
+
+}  // namespace aurv::core

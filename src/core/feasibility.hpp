@@ -1,0 +1,66 @@
+// Theorem 3.1 — the exact characterization of feasible instances — plus the
+// four-type taxonomy of Section 3.1.1 that drives Algorithm 1's analysis:
+//
+//   type 1: synchronous, chi = -1, t >  dist(projA,projB) - r
+//   type 2: synchronous, chi = +1, phi = 0, t > dist - r
+//   type 3: tau != 1
+//   type 4: every other instance covered by Theorem 3.2
+//           (tau = 1 non-synchronous, or synchronous chi=+1 phi!=0)
+//
+// and the two exception sets AlmostUniversalRV provably misses:
+//
+//   S1: synchronous, chi = +1, phi = 0, t = dist - r
+//   S2: synchronous, chi = -1,          t = dist(projA,projB) - r
+//
+// Everything outside these and the feasible region is infeasible; instances
+// with r >= dist meet trivially at time 0 and are reported as such.
+#pragma once
+
+#include <string>
+
+#include "agents/instance.hpp"
+
+namespace aurv::core {
+
+enum class InstanceKind : std::uint8_t {
+  TrivialOverlap,  ///< r >= initial distance: rendezvous at time 0
+  Type1,
+  Type2,
+  Type3,
+  Type4,
+  BoundaryS1,  ///< feasible, but outside AlmostUniversalRV's guarantee
+  BoundaryS2,  ///< feasible, but outside AlmostUniversalRV's guarantee
+  Infeasible,
+};
+
+[[nodiscard]] std::string to_string(InstanceKind kind);
+
+struct Classification {
+  InstanceKind kind = InstanceKind::Infeasible;
+  bool feasible = false;       ///< Theorem 3.1 verdict
+  bool covered_by_aurv = false;///< Theorem 3.2 guarantee applies
+  bool synchronous = false;
+  /// Signed distance to the feasibility boundary along t:
+  ///   chi=+1, phi=0 synchronous:  t - (dist - r)        (the paper's value)
+  ///   chi=-1 synchronous:         t - (distproj - r)    (the paper's e)
+  /// 0 for instances where no boundary applies (always feasible).
+  double boundary_slack = 0.0;
+  /// Which clause of Theorem 3.1 decided feasibility (human readable).
+  std::string clause;
+};
+
+/// Classifies an instance. `boundary_eps` is the tolerance inside which the
+/// double-precision boundary quantity t - (d - r) counts as exactly zero;
+/// instances built with Rational::from_double hit the boundary bit-exactly,
+/// randomized sweeps should pass a suitable tolerance explicitly.
+[[nodiscard]] Classification classify(const agents::Instance& instance,
+                                      double boundary_eps = 1e-12);
+
+/// Theorem 3.1 as a predicate.
+[[nodiscard]] bool is_feasible(const agents::Instance& instance, double boundary_eps = 1e-12);
+
+/// Theorem 3.2's coverage set as a predicate (feasible minus S1/S2).
+[[nodiscard]] bool is_covered_by_aurv(const agents::Instance& instance,
+                                      double boundary_eps = 1e-12);
+
+}  // namespace aurv::core

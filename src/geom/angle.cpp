@@ -1,0 +1,39 @@
+#include "geom/angle.hpp"
+
+#include <cmath>
+
+namespace aurv::geom {
+
+double normalize_angle(double radians) noexcept {
+  double a = std::fmod(radians, kTwoPi);
+  if (a < 0) a += kTwoPi;
+  // fmod can return exactly kTwoPi after the correction when radians is a
+  // tiny negative number; fold it back.
+  if (a >= kTwoPi) a = 0.0;
+  return a;
+}
+
+double normalize_angle_signed(double radians) noexcept {
+  double a = std::fmod(radians, kTwoPi);
+  if (a > kPi) a -= kTwoPi;
+  if (a <= -kPi) a += kTwoPi;
+  return a;
+}
+
+double dyadic_angle(std::int64_t k, std::uint64_t i) noexcept {
+  return static_cast<double>(k) * kPi / std::ldexp(1.0, static_cast<int>(i));
+}
+
+double line_angle_between(double dir_a, double dir_b) noexcept {
+  double d = std::fmod(std::fabs(dir_a - dir_b), kPi);
+  if (d > kPi / 2) d = kPi - d;
+  return d;
+}
+
+double ray_angle_between(double dir_a, double dir_b) noexcept {
+  double d = std::fmod(std::fabs(dir_a - dir_b), kTwoPi);
+  if (d > kPi) d = kTwoPi - d;
+  return d;
+}
+
+}  // namespace aurv::geom

@@ -1,0 +1,34 @@
+// Angle bookkeeping helpers.
+//
+// The paper's algorithms only ever turn by rational multiples of pi
+// (directions N/S/E/W inside rotated systems Rot(k*pi/2^i)), while the
+// instance parameter phi is an arbitrary real. We therefore keep headings
+// as doubles but provide helpers that make the dyadic-angle arithmetic
+// well-conditioned (building k*pi/2^i from the integers k and i instead of
+// accumulating increments).
+#pragma once
+
+#include <cstdint>
+
+namespace aurv::geom {
+
+inline constexpr double kPi = 3.14159265358979323846264338327950288;
+inline constexpr double kTwoPi = 2.0 * kPi;
+
+/// Normalizes an angle to [0, 2*pi).
+[[nodiscard]] double normalize_angle(double radians) noexcept;
+
+/// Normalizes an angle to (-pi, pi].
+[[nodiscard]] double normalize_angle_signed(double radians) noexcept;
+
+/// k * pi / 2^i, computed directly from the integers (no drift).
+[[nodiscard]] double dyadic_angle(std::int64_t k, std::uint64_t i) noexcept;
+
+/// Smallest unoriented angle between two line *directions* (result in
+/// [0, pi/2]); this is the paper's "angle between two lines".
+[[nodiscard]] double line_angle_between(double dir_a, double dir_b) noexcept;
+
+/// Smallest unoriented angle between two *rays* (result in [0, pi]).
+[[nodiscard]] double ray_angle_between(double dir_a, double dir_b) noexcept;
+
+}  // namespace aurv::geom

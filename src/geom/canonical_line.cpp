@@ -1,0 +1,23 @@
+#include "geom/canonical_line.hpp"
+
+#include <cmath>
+
+#include "geom/angle.hpp"
+
+namespace aurv::geom {
+
+Line canonical_line(Vec2 b_start, double phi) {
+  // The bisectrix of the angle between direction 0 (A's x-axis) and
+  // direction phi (B's x-axis) has inclination phi/2; for phi = 0 the
+  // definition's first case gives inclination 0 = phi/2 as well, so one
+  // formula covers both cases of Definition 2.1.
+  const Vec2 midpoint = 0.5 * b_start;
+  return Line::through_at_angle(midpoint, normalize_angle(phi) / 2.0);
+}
+
+double projection_distance(Vec2 b_start, double phi) {
+  const Line line = canonical_line(b_start, phi);
+  return std::fabs(line.coordinate(b_start) - line.coordinate(Vec2{0.0, 0.0}));
+}
+
+}  // namespace aurv::geom

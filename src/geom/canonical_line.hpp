@@ -1,0 +1,27 @@
+// The canonical line of an instance (Definition 2.1 of the paper):
+//
+//   * if phi = 0: the line parallel to the x-axes of both agents and
+//     equidistant from their origins;
+//   * otherwise: the line parallel to the bisectrix of the angle between the
+//     agents' x-axes and equidistant from their origins.
+//
+// In agent A's (absolute) coordinates this is the line of inclination phi/2
+// through the midpoint of the two starting positions. The chi = -1
+// feasibility clause of Theorem 3.1 is phrased in terms of the distance
+// between the orthogonal projections of the two origins onto this line.
+#pragma once
+
+#include "geom/line.hpp"
+#include "geom/vec2.hpp"
+
+namespace aurv::geom {
+
+/// Canonical line for agent B starting at `b_start` with x-axis rotated by
+/// `phi` (radians, in [0, 2*pi)) relative to agent A, whose origin is (0,0).
+[[nodiscard]] Line canonical_line(Vec2 b_start, double phi);
+
+/// dist(proj_A, proj_B): separation of the two origins' projections onto the
+/// canonical line. For phi = 0 this is |projection of b_start on the x-axis|.
+[[nodiscard]] double projection_distance(Vec2 b_start, double phi);
+
+}  // namespace aurv::geom

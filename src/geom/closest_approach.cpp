@@ -1,0 +1,66 @@
+#include "geom/closest_approach.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aurv::geom {
+
+ApproachResult closest_approach(Vec2 offset, Vec2 relative_velocity, double duration) noexcept {
+  const double v2 = relative_velocity.norm2();
+  if (v2 <= 0.0 || duration <= 0.0) {
+    return {offset.norm(), 0.0};
+  }
+  // d(s)^2 = |offset|^2 + 2 s offset.v + s^2 |v|^2, minimized at
+  // s* = -offset.v / |v|^2, clamped to the window.
+  const double s_star = std::clamp(-offset.dot(relative_velocity) / v2, 0.0, duration);
+  const Vec2 at_min = offset + s_star * relative_velocity;
+  return {at_min.norm(), s_star};
+}
+
+std::optional<double> first_contact(Vec2 offset, Vec2 relative_velocity, double radius,
+                                    double duration) noexcept {
+  if (offset.norm2() <= radius * radius) return 0.0;
+  const double v2 = relative_velocity.norm2();
+  if (v2 <= 0.0 || duration <= 0.0) return std::nullopt;
+  // Solve |offset + s v|^2 = radius^2:
+  //   v2 s^2 + 2 b s + c = 0, b = offset.v, c = |offset|^2 - radius^2 (> 0 here).
+  const double b = offset.dot(relative_velocity);
+  if (b >= 0.0) return std::nullopt;  // moving apart; distance only grows
+  const double c = offset.norm2() - radius * radius;
+  const double discriminant = b * b - v2 * c;
+  if (discriminant < 0.0) return std::nullopt;
+  // Numerically stable smaller root of the upward parabola: with b < 0,
+  // s1 = (-b - sqrt(D)) / v2 = c / (-b + sqrt(D)).
+  const double sqrt_d = std::sqrt(discriminant);
+  const double s1 = c / (-b + sqrt_d);
+  if (s1 < 0.0) return 0.0;  // guards tiny negative round-off
+  if (s1 > duration) return std::nullopt;
+  return s1;
+}
+
+std::optional<ContactInterval> contact_interval(Vec2 offset, Vec2 relative_velocity,
+                                                double radius, double duration) noexcept {
+  const double v2 = relative_velocity.norm2();
+  const bool inside_now = offset.norm2() <= radius * radius;
+  if (v2 <= 0.0 || duration <= 0.0) {
+    if (inside_now) return ContactInterval{0.0, duration};
+    return std::nullopt;
+  }
+  // Roots of v2 s^2 + 2 b s + c = 0 with c = |offset|^2 - radius^2.
+  const double b = offset.dot(relative_velocity);
+  const double c = offset.norm2() - radius * radius;
+  const double discriminant = b * b - v2 * c;
+  if (discriminant < 0.0) {
+    if (inside_now) return ContactInterval{0.0, duration};  // grazing round-off
+    return std::nullopt;
+  }
+  const double sqrt_d = std::sqrt(discriminant);
+  const double enter = (-b - sqrt_d) / v2;
+  const double exit = (-b + sqrt_d) / v2;
+  const double lo = std::max(0.0, enter);
+  const double hi = std::min(duration, exit);
+  if (lo > hi) return std::nullopt;
+  return ContactInterval{lo, hi};
+}
+
+}  // namespace aurv::geom

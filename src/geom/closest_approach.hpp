@@ -1,0 +1,45 @@
+// Closest approach of two points in uniform linear motion — the geometric
+// kernel of the rendezvous simulator. Between two consecutive instruction
+// breakpoints both agents move with constant velocity, so the squared
+// inter-agent distance is a quadratic polynomial of time and first contact
+// with the visibility disk is a quadratic root: no time-stepping, which is
+// what makes the paper's 2^(15 i^2)-long waits simulable.
+#pragma once
+
+#include <optional>
+
+#include "geom/vec2.hpp"
+
+namespace aurv::geom {
+
+struct ApproachResult {
+  double min_distance = 0.0;  ///< minimum distance over the window
+  double at = 0.0;            ///< window-relative time of the minimum, in [0, duration]
+};
+
+/// Minimum over s in [0, duration] of |offset + s * relative_velocity|.
+/// `offset` is (position of P - position of Q) at window start and
+/// `relative_velocity` is (velocity of P - velocity of Q).
+[[nodiscard]] ApproachResult closest_approach(Vec2 offset, Vec2 relative_velocity,
+                                              double duration) noexcept;
+
+/// First s in [0, duration] with |offset + s * relative_velocity| <= radius,
+/// or nullopt if the distance stays above `radius` throughout the window.
+/// Exact at s = 0 (already in contact reports 0).
+[[nodiscard]] std::optional<double> first_contact(Vec2 offset, Vec2 relative_velocity,
+                                                  double radius, double duration) noexcept;
+
+/// The closed sub-interval of [0, duration] during which
+/// |offset + s * relative_velocity| <= radius, or nullopt if the distance
+/// stays above radius throughout. Used by the gathering engine, which needs
+/// *simultaneous* visibility intervals of many pairs.
+struct ContactInterval {
+  double enter = 0.0;
+  double exit = 0.0;
+};
+[[nodiscard]] std::optional<ContactInterval> contact_interval(Vec2 offset,
+                                                              Vec2 relative_velocity,
+                                                              double radius,
+                                                              double duration) noexcept;
+
+}  // namespace aurv::geom

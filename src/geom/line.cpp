@@ -1,0 +1,41 @@
+#include "geom/line.hpp"
+
+#include <cmath>
+
+#include "geom/angle.hpp"
+#include "support/check.hpp"
+
+namespace aurv::geom {
+
+Line::Line(Vec2 point, Vec2 direction) : point_(point) {
+  AURV_CHECK_MSG(direction.norm2() > 0.0, "Line direction must be nonzero");
+  dir_ = direction.normalized();
+}
+
+Line Line::through_at_angle(Vec2 point, double angle) {
+  return Line(point, unit_vector(angle));
+}
+
+double Line::inclination() const noexcept {
+  double a = std::atan2(dir_.y, dir_.x);
+  if (a < 0) a += kPi;
+  if (a >= kPi) a -= kPi;
+  return a;
+}
+
+Vec2 Line::project(Vec2 p) const noexcept {
+  return point_ + dir_.dot(p - point_) * dir_;
+}
+
+double Line::coordinate(Vec2 p) const noexcept { return dir_.dot(p - point_); }
+
+double Line::distance_to(Vec2 p) const noexcept { return std::fabs(signed_distance_to(p)); }
+
+double Line::signed_distance_to(Vec2 p) const noexcept { return dir_.cross(p - point_); }
+
+Vec2 Line::reflect(Vec2 p) const noexcept {
+  const Vec2 foot = project(p);
+  return foot + (foot - p);
+}
+
+}  // namespace aurv::geom

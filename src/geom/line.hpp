@@ -1,0 +1,45 @@
+// Infinite line in the plane, given by a point and a unit direction.
+// Used for the canonical line of an instance (Definition 2.1) and the
+// orthogonal projections proj_A / proj_B that drive the chi = -1 analysis.
+#pragma once
+
+#include "geom/vec2.hpp"
+
+namespace aurv::geom {
+
+class Line {
+ public:
+  /// `direction` need not be normalized but must be nonzero (checked).
+  Line(Vec2 point, Vec2 direction);
+
+  /// Line through `point` with inclination `angle` radians from the x-axis.
+  static Line through_at_angle(Vec2 point, double angle);
+
+  [[nodiscard]] Vec2 point() const noexcept { return point_; }
+  [[nodiscard]] Vec2 direction() const noexcept { return dir_; }
+  /// Inclination in [0, pi).
+  [[nodiscard]] double inclination() const noexcept;
+
+  /// Orthogonal projection of `p` onto the line.
+  [[nodiscard]] Vec2 project(Vec2 p) const noexcept;
+
+  /// Signed coordinate of the projection of `p` along the line direction,
+  /// measured from the line's base point. Two projections' separation is
+  /// |coordinate(p) - coordinate(q)|.
+  [[nodiscard]] double coordinate(Vec2 p) const noexcept;
+
+  /// Distance from `p` to the line (>= 0).
+  [[nodiscard]] double distance_to(Vec2 p) const noexcept;
+
+  /// Signed distance: positive on the left of `direction`.
+  [[nodiscard]] double signed_distance_to(Vec2 p) const noexcept;
+
+  /// Mirror image of `p` across the line.
+  [[nodiscard]] Vec2 reflect(Vec2 p) const noexcept;
+
+ private:
+  Vec2 point_;
+  Vec2 dir_;  // unit
+};
+
+}  // namespace aurv::geom

@@ -1,0 +1,78 @@
+#include "geom/similarity.hpp"
+
+#include <cmath>
+
+#include "geom/angle.hpp"
+#include "support/check.hpp"
+
+namespace aurv::geom {
+
+Similarity::Similarity(Vec2 translation, double rotation, int chirality, double scale)
+    : translation_(translation),
+      rotation_(normalize_angle(rotation)),
+      chirality_(chirality),
+      scale_(scale) {
+  AURV_CHECK_MSG(chirality == 1 || chirality == -1, "chirality must be +1 or -1");
+  AURV_CHECK_MSG(scale > 0.0, "scale must be positive");
+}
+
+double Similarity::a() const noexcept { return scale_ * std::cos(rotation_); }
+double Similarity::b() const noexcept { return scale_ * std::sin(rotation_); }
+double Similarity::c() const noexcept { return -scale_ * std::sin(rotation_) * chirality_; }
+double Similarity::d() const noexcept { return scale_ * std::cos(rotation_) * chirality_; }
+
+Vec2 Similarity::apply(Vec2 p) const noexcept { return translation_ + apply_linear(p); }
+
+Vec2 Similarity::apply_linear(Vec2 v) const noexcept {
+  return {a() * v.x + c() * v.y, b() * v.x + d() * v.y};
+}
+
+double Similarity::apply_heading(double local_radians) const noexcept {
+  // R(phi) * diag(1, chi) maps heading beta to phi + chi*beta.
+  return normalize_angle(rotation_ + chirality_ * local_radians);
+}
+
+Similarity Similarity::inverse() const {
+  // (s R C)^{-1} = s^{-1} C R(-phi) = s^{-1} R(chi * -phi ... ) — derive via
+  // C R(phi)^{-1} C = R(chi*phi): inverse linear part is s^{-1} * R(-phi*chi') ...
+  // Simplest robust route: inverse of L = s R(phi) C is L' = s^{-1} C R(-phi),
+  // and C R(-phi) = R(chi * -phi) C (conjugation flips the rotation sign when
+  // chi = -1), so L' = s^{-1} R(-chi*phi... ). Concretely:
+  //   chi = +1: L' = s^{-1} R(-phi) C           (rotation -phi, chirality +1)
+  //   chi = -1: C R(-phi) = R(+phi) C, so L' = s^{-1} R(phi) C (rotation phi).
+  const double inv_rotation = chirality_ == 1 ? -rotation_ : rotation_;
+  Similarity result({}, inv_rotation, chirality_, 1.0 / scale_);
+  result.translation_ = -result.apply_linear(translation_);
+  return result;
+}
+
+Similarity Similarity::compose(const Similarity& inner) const {
+  // Linear parts: L_out = L_this * L_inner. For L = s R(phi) C:
+  //   s R(p1) C1 s2 R(p2) C2 = s*s2 R(p1 + chi1*p2) C1 C2.
+  Similarity result({}, rotation_ + chirality_ * inner.rotation_,
+                    chirality_ * inner.chirality_, scale_ * inner.scale_);
+  result.translation_ = apply(inner.translation_);
+  return result;
+}
+
+double Similarity::fixed_point_determinant() const noexcept {
+  const double m00 = 1.0 - a();
+  const double m01 = -c();
+  const double m10 = -b();
+  const double m11 = 1.0 - d();
+  return m00 * m11 - m01 * m10;
+}
+
+std::optional<Vec2> Similarity::fixed_point(double eps) const noexcept {
+  const double det = fixed_point_determinant();
+  if (std::fabs(det) <= eps) return std::nullopt;
+  // Solve (I - L) p = T by Cramer's rule.
+  const double m00 = 1.0 - a();
+  const double m01 = -c();
+  const double m10 = -b();
+  const double m11 = 1.0 - d();
+  const Vec2 t = translation_;
+  return Vec2{(t.x * m11 - t.y * m01) / det, (m00 * t.y - m10 * t.x) / det};
+}
+
+}  // namespace aurv::geom

@@ -1,0 +1,53 @@
+// Plain 2-D double vector. Geometry in this library is floating point:
+// headings involve cos/sin of k*pi/2^i and of the arbitrary instance angle
+// phi, which are irrational in general. Exactness lives in the *time*
+// dimension (numeric::Rational); space is double with documented tolerances.
+#pragma once
+
+#include <cmath>
+
+namespace aurv::geom {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr Vec2 operator+(Vec2 a, Vec2 b) { return {a.x + b.x, a.y + b.y}; }
+  friend constexpr Vec2 operator-(Vec2 a, Vec2 b) { return {a.x - b.x, a.y - b.y}; }
+  friend constexpr Vec2 operator*(double s, Vec2 v) { return {s * v.x, s * v.y}; }
+  friend constexpr Vec2 operator*(Vec2 v, double s) { return {s * v.x, s * v.y}; }
+  friend constexpr Vec2 operator-(Vec2 v) { return {-v.x, -v.y}; }
+  constexpr Vec2& operator+=(Vec2 other) {
+    x += other.x;
+    y += other.y;
+    return *this;
+  }
+  constexpr Vec2& operator-=(Vec2 other) {
+    x -= other.x;
+    y -= other.y;
+    return *this;
+  }
+  friend constexpr bool operator==(Vec2 a, Vec2 b) = default;
+
+  [[nodiscard]] constexpr double dot(Vec2 other) const { return x * other.x + y * other.y; }
+  /// z-component of the 3-D cross product; >0 iff `other` is counterclockwise
+  /// from *this.
+  [[nodiscard]] constexpr double cross(Vec2 other) const { return x * other.y - y * other.x; }
+  [[nodiscard]] constexpr double norm2() const { return x * x + y * y; }
+  [[nodiscard]] double norm() const { return std::hypot(x, y); }
+  /// Counterclockwise rotation by 90 degrees.
+  [[nodiscard]] constexpr Vec2 perp() const { return {-y, x}; }
+  [[nodiscard]] Vec2 normalized() const {
+    const double n = norm();
+    return n == 0.0 ? Vec2{} : Vec2{x / n, y / n};
+  }
+};
+
+[[nodiscard]] inline double dist(Vec2 a, Vec2 b) { return (a - b).norm(); }
+
+/// Unit vector at angle `radians` from the positive x-axis (counterclockwise).
+[[nodiscard]] inline Vec2 unit_vector(double radians) {
+  return {std::cos(radians), std::sin(radians)};
+}
+
+}  // namespace aurv::geom

@@ -1,0 +1,38 @@
+// Parallel sweep runner: simulate many independent (instance, algorithm)
+// jobs across a thread pool. Rendezvous simulations are embarrassingly
+// parallel — each job owns its engine, streams and result — so the sweep
+// experiments (TAB-1/2/3 style) and the property-test grids scale with
+// cores. Determinism: results are returned in job order regardless of
+// scheduling.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "agents/instance.hpp"
+#include "sim/engine.hpp"
+
+namespace aurv::sim {
+
+struct BatchJob {
+  agents::Instance instance;
+  AlgorithmFactory algorithm;   ///< must be thread-safe to *call* (each call
+                                ///< builds a fresh program; the factories in
+                                ///< this library are stateless)
+  EngineConfig config;
+};
+
+/// Runs all jobs and returns their results in job order. `threads = 0`
+/// picks std::thread::hardware_concurrency(). Exceptions thrown by a job
+/// propagate to the caller (first one wins; remaining jobs still complete).
+[[nodiscard]] std::vector<SimResult> run_batch(std::vector<BatchJob> jobs,
+                                               std::size_t threads = 0);
+
+/// Convenience: same algorithm and config for a sweep of instances.
+[[nodiscard]] std::vector<SimResult> run_sweep(const std::vector<agents::Instance>& instances,
+                                               const AlgorithmFactory& algorithm,
+                                               const EngineConfig& config = {},
+                                               std::size_t threads = 0);
+
+}  // namespace aurv::sim

@@ -1,0 +1,121 @@
+// Continuous-time, event-driven co-simulation of the two agents.
+//
+// Both agents run the *same* deterministic mobility program (the anonymity
+// assumption), each interpreted through its own frame (origin, rotation,
+// chirality, clock rate, speed, wake-up delay). Between two consecutive
+// instruction breakpoints each agent moves with constant velocity, so the
+// engine advances breakpoint-to-breakpoint on an exact rational timeline
+// and detects first contact inside each window by solving a quadratic —
+// no time-stepping. This is what makes Algorithm 1's waits of 2^(15 i^2)
+// local time units simulable: a wait is one event.
+//
+// Rendezvous semantics ("interrupt as soon as the other agent is seen",
+// Alg. 1 line 1): an agent freezes forever at the first instant the
+// distance drops to its own visibility radius; the run succeeds at the
+// first instant the distance reaches min(r_a, r_b). With equal radii
+// (the paper's main model) both happen simultaneously. Distinct radii
+// implement the Section 5 extension.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "agents/frame.hpp"
+#include "agents/instance.hpp"
+#include "numeric/rational.hpp"
+#include "program/instruction.hpp"
+#include "sim/trace.hpp"
+
+namespace aurv::sim {
+
+/// Factory producing a fresh run of the common deterministic program. Called
+/// once per agent; both streams must be identical (anonymity) — the engine
+/// does not and cannot verify this, it is the caller's contract.
+using AlgorithmFactory = std::function<program::Program()>;
+
+struct EngineConfig {
+  /// Fuel: maximum number of processed events (instruction boundaries,
+  /// freezes, horizon checks). The run stops with FuelExhausted beyond it.
+  std::uint64_t max_events = 4'000'000;
+
+  /// Rendezvous is declared at distance <= radius + contact_slack. The
+  /// boundary instances of S1/S2 meet at distance *exactly* r analytically,
+  /// which double arithmetic cannot certify with zero slack.
+  double contact_slack = 1e-9;
+
+  /// Optional absolute-time horizon; the run stops with HorizonReached when
+  /// the timeline passes it. Disabled when empty. Used by the impossibility
+  /// experiments ("no rendezvous within time T").
+  std::optional<numeric::Rational> horizon;
+
+  /// Optional per-agent visibility radii overriding the instance's r
+  /// (Section 5: r_a is A's radius, r_b is B's).
+  std::optional<double> r_a;
+  std::optional<double> r_b;
+
+  /// Trace recording (0 = off).
+  std::size_t trace_capacity = 0;
+};
+
+enum class StopReason : std::uint8_t {
+  Rendezvous,     ///< distance reached min(r_a, r_b): both agents saw each other
+  FuelExhausted,  ///< event budget ran out
+  HorizonReached, ///< configured time horizon passed without rendezvous
+  BothIdle,       ///< both programs ended (or froze) and the agents are apart
+};
+
+[[nodiscard]] std::string to_string(StopReason reason);
+
+struct SimResult {
+  bool met = false;
+  StopReason reason = StopReason::FuelExhausted;
+
+  /// Absolute meet time. `meet_time` is the double view; the exact value is
+  /// meet_window_start (rational) + meet_window_offset (double, small).
+  double meet_time = 0.0;
+  numeric::Rational meet_window_start;
+  double meet_window_offset = 0.0;
+
+  geom::Vec2 a_position;  ///< positions at stop time
+  geom::Vec2 b_position;
+  double final_distance = 0.0;
+
+  /// Smallest inter-agent distance observed over the whole run (including
+  /// runs that do not meet) — the impossibility experiments assert it stays
+  /// above r.
+  double min_distance_seen = 0.0;
+
+  std::uint64_t events = 0;
+  std::uint64_t instructions_a = 0;
+  std::uint64_t instructions_b = 0;
+
+  Trace trace;
+};
+
+class Engine {
+ public:
+  Engine(agents::Instance instance, EngineConfig config);
+
+  /// Runs the common program produced by `factory` on both agents.
+  [[nodiscard]] SimResult run(const AlgorithmFactory& factory) const;
+
+  /// Runs with explicitly provided per-agent programs. Exposed for white-box
+  /// tests (e.g. pinning one agent); the anonymous model is run().
+  [[nodiscard]] SimResult run(program::Program for_a, program::Program for_b) const;
+
+  [[nodiscard]] const agents::Instance& instance() const noexcept { return instance_; }
+  [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
+
+ private:
+  agents::Instance instance_;
+  EngineConfig config_;
+};
+
+/// Convenience wrapper: simulate `factory` on `instance` with `config`.
+[[nodiscard]] SimResult simulate(const agents::Instance& instance,
+                                 const AlgorithmFactory& factory,
+                                 const EngineConfig& config = {});
+
+}  // namespace aurv::sim

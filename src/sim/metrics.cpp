@@ -1,0 +1,58 @@
+#include "sim/metrics.hpp"
+
+#include <cmath>
+
+#include "geom/line.hpp"
+
+namespace aurv::sim {
+
+std::vector<DistanceSample> distance_series(const Trace& trace) {
+  std::vector<DistanceSample> series;
+  series.reserve(trace.points().size());
+  for (const TracePoint& point : trace.points()) {
+    series.push_back({point.time, point.distance});
+  }
+  return series;
+}
+
+std::vector<ProjectionSample> projection_gap_series(const agents::Instance& instance,
+                                                    const Trace& trace) {
+  const geom::Line line = instance.canonical_line();
+  std::vector<ProjectionSample> series;
+  series.reserve(trace.points().size());
+  for (const TracePoint& point : trace.points()) {
+    series.push_back({point.time, line.coordinate(point.a) - line.coordinate(point.b)});
+  }
+  return series;
+}
+
+std::optional<Figure4Case> classify_figure4_case(const agents::Instance& instance,
+                                                 const Trace& trace) {
+  const std::vector<ProjectionSample> series = projection_gap_series(instance, trace);
+  if (series.size() < 2) return std::nullopt;
+  for (std::size_t k = 1; k < series.size(); ++k) {
+    const bool previous_negative = series[k - 1].signed_gap < 0.0;
+    const bool current_negative = series[k].signed_gap < 0.0;
+    if (previous_negative != current_negative) return Figure4Case::Crossing;
+  }
+  return Figure4Case::MonotoneShrink;
+}
+
+SeriesExtrema distance_extrema(const Trace& trace) {
+  SeriesExtrema extrema;
+  bool first = true;
+  for (const TracePoint& point : trace.points()) {
+    if (first || point.distance < extrema.min_value) {
+      extrema.min_value = point.distance;
+      extrema.min_time = point.time;
+    }
+    if (first || point.distance > extrema.max_value) {
+      extrema.max_value = point.distance;
+      extrema.max_time = point.time;
+    }
+    first = false;
+  }
+  return extrema;
+}
+
+}  // namespace aurv::sim

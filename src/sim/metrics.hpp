@@ -1,0 +1,58 @@
+// Trace analytics: the quantities the paper's proofs reason about, computed
+// from a recorded simulation trace. Used by the figure-regeneration benches
+// (FIG-4's case analysis) and available to downstream users who want to
+// inspect *why* a rendezvous happened.
+//
+// All series are sampled at the trace's event boundaries; between samples
+// both agents move linearly, so extrema inside a window can differ slightly
+// from the sampled ones (the engine's min_distance_seen is the continuous
+// minimum; these series are for structure, not bounds).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "agents/instance.hpp"
+#include "sim/trace.hpp"
+
+namespace aurv::sim {
+
+struct DistanceSample {
+  double time = 0.0;
+  double distance = 0.0;
+};
+
+/// Inter-agent distance at every trace point.
+[[nodiscard]] std::vector<DistanceSample> distance_series(const Trace& trace);
+
+struct ProjectionSample {
+  double time = 0.0;
+  /// Signed gap between the canonical-line coordinates of A and B
+  /// (coordinate(A) - coordinate(B)); the chi = -1 analysis of Lemma 3.2
+  /// tracks |gap| and its sign changes.
+  double signed_gap = 0.0;
+};
+
+/// Projection-gap series onto the instance's canonical line.
+[[nodiscard]] std::vector<ProjectionSample> projection_gap_series(
+    const agents::Instance& instance, const Trace& trace);
+
+/// Figure 4's dichotomy: did the projections cross (case a) or shrink
+/// monotonically in the sampled series (case b)? Returns nullopt for traces
+/// with fewer than two points.
+enum class Figure4Case : std::uint8_t { Crossing, MonotoneShrink };
+[[nodiscard]] std::optional<Figure4Case> classify_figure4_case(
+    const agents::Instance& instance, const Trace& trace);
+
+struct SeriesExtrema {
+  double min_value = 0.0;
+  double min_time = 0.0;
+  double max_value = 0.0;
+  double max_time = 0.0;
+};
+
+/// Extrema of the sampled distance series (empty trace -> zeros).
+[[nodiscard]] SeriesExtrema distance_extrema(const Trace& trace);
+
+}  // namespace aurv::sim

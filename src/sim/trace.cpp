@@ -1,0 +1,14 @@
+#include "sim/trace.hpp"
+
+namespace aurv::sim {
+
+void Trace::record(const TracePoint& point) {
+  if (capacity_ == 0) return;
+  if (points_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  points_.push_back(point);
+}
+
+}  // namespace aurv::sim

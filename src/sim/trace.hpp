@@ -1,0 +1,38 @@
+// Bounded trajectory trace recorded by the simulation engine: one sample per
+// event boundary (instruction start/end of either agent). Used by the
+// figure-regeneration benches and by the trajectory_plot example.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "geom/vec2.hpp"
+
+namespace aurv::sim {
+
+struct TracePoint {
+  double time = 0.0;  ///< absolute time (double view; may saturate for huge waits)
+  geom::Vec2 a;
+  geom::Vec2 b;
+  double distance = 0.0;
+};
+
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::size_t capacity) : capacity_(capacity) {}
+
+  void record(const TracePoint& point);
+
+  [[nodiscard]] const std::vector<TracePoint>& points() const noexcept { return points_; }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+  [[nodiscard]] bool enabled() const noexcept { return capacity_ > 0; }
+
+ private:
+  std::size_t capacity_ = 0;
+  std::vector<TracePoint> points_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace aurv::sim

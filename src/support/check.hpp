@@ -1,0 +1,33 @@
+// Lightweight precondition checking for the aurv library.
+//
+// AURV_CHECK is used for API contract violations (caller errors). It throws
+// std::logic_error so tests can assert on misuse, instead of aborting like
+// assert(); it is active in all build types because the simulator is used
+// for validating *theorems* and silent UB would invalidate experiments.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace aurv::support {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << "AURV_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace aurv::support
+
+#define AURV_CHECK(expr)                                                          \
+  do {                                                                            \
+    if (!(expr)) ::aurv::support::check_failed(#expr, __FILE__, __LINE__, {});    \
+  } while (0)
+
+#define AURV_CHECK_MSG(expr, msg)                                                 \
+  do {                                                                            \
+    if (!(expr)) ::aurv::support::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

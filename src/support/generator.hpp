@@ -1,0 +1,106 @@
+// Minimal lazy generator coroutine (C++20 has coroutines but std::generator
+// only arrives in C++23). Used to express the paper's mobility programs —
+// which are infinite instruction sequences — as lazily produced streams.
+//
+// The generator owns its coroutine frame; moving transfers ownership. Values
+// are yielded by const reference to avoid copies of heavyweight payloads
+// (instructions carry arbitrary-precision rationals).
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <iterator>
+#include <utility>
+
+namespace aurv::support {
+
+template <typename T>
+class generator {
+ public:
+  struct promise_type {
+    const T* current = nullptr;
+    std::exception_ptr exception;
+
+    generator get_return_object() {
+      return generator{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    std::suspend_always yield_value(const T& value) noexcept {
+      current = &value;
+      return {};
+    }
+    // GCC 12 (the pinned toolchain) double-destroys non-trivial temporaries
+    // used as co_yield operands (frame cleanup re-runs the temporary's
+    // destructor). Deleting the rvalue overload turns that latent
+    // use-after-free into a compile error: bind to a named local, then
+    // co_yield it.
+    std::suspend_always yield_value(T&& value) = delete;
+    void return_void() noexcept {}
+    void unhandled_exception() { exception = std::current_exception(); }
+  };
+
+  generator() = default;
+  explicit generator(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  generator(generator&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  generator& operator=(generator&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  generator(const generator&) = delete;
+  generator& operator=(const generator&) = delete;
+  ~generator() { destroy(); }
+
+  /// Advances to the next value. Returns false when the stream is exhausted.
+  bool next() {
+    if (!handle_ || handle_.done()) return false;
+    handle_.resume();
+    if (handle_.promise().exception) std::rethrow_exception(handle_.promise().exception);
+    return !handle_.done();
+  }
+
+  /// The value produced by the last successful next(). Valid only after
+  /// next() returned true, until the following next() call.
+  [[nodiscard]] const T& value() const { return *handle_.promise().current; }
+
+  [[nodiscard]] bool valid() const { return static_cast<bool>(handle_); }
+
+  // Input-iterator interface so generators compose with range-for loops.
+  class iterator {
+   public:
+    using value_type = T;
+    using difference_type = std::ptrdiff_t;
+    using iterator_category = std::input_iterator_tag;
+
+    iterator() = default;
+    explicit iterator(generator* g) : gen_(g) { advance(); }
+    const T& operator*() const { return gen_->value(); }
+    iterator& operator++() {
+      advance();
+      return *this;
+    }
+    void operator++(int) { advance(); }
+    bool operator==(std::default_sentinel_t) const { return gen_ == nullptr; }
+
+   private:
+    void advance() {
+      if (gen_ && !gen_->next()) gen_ = nullptr;
+    }
+    generator* gen_ = nullptr;
+  };
+
+  iterator begin() { return iterator{this}; }
+  std::default_sentinel_t end() { return {}; }
+
+ private:
+  void destroy() {
+    if (handle_) handle_.destroy();
+    handle_ = {};
+  }
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace aurv::support

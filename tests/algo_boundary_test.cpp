@@ -1,0 +1,149 @@
+// Tests for the dedicated boundary algorithms (Lemmas 3.8/3.9): the S1/S2
+// instances AlmostUniversalRV provably misses are individually feasible,
+// meeting at distance *exactly* r.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algo/boundary.hpp"
+#include "geom/angle.hpp"
+#include "sim/engine.hpp"
+
+namespace aurv::algo {
+namespace {
+
+using agents::Instance;
+using geom::Vec2;
+using numeric::Rational;
+
+sim::SimResult run_dedicated(const Instance& instance, bool s2) {
+  sim::EngineConfig config;
+  config.max_events = 100'000;
+  const sim::AlgorithmFactory factory = [&instance, s2] {
+    return s2 ? boundary_s2_algorithm(instance) : boundary_s1_algorithm(instance);
+  };
+  return sim::Engine(instance, config).run(factory);
+}
+
+TEST(BoundaryS1, MeetsAtExactlyRadiusWhenBStillAsleep) {
+  // t = dist - r: A covers dist - r by time t, reaching distance exactly r
+  // at the instant B wakes.
+  const double r = 1.0;
+  const Vec2 b_start{3.0, 4.0};  // dist = 5
+  const Instance instance = Instance::synchronous(r, b_start, 0.0, Rational(4), 1);
+  const sim::SimResult result = run_dedicated(instance, /*s2=*/false);
+  ASSERT_TRUE(result.met);
+  EXPECT_NEAR(result.meet_time, 4.0, 1e-6);
+  EXPECT_NEAR(result.final_distance, r, 1e-6);
+  // B never moved.
+  EXPECT_NEAR(geom::dist(result.b_position, b_start), 0.0, 1e-9);
+}
+
+TEST(BoundaryS1, WorksAcrossDirectionsAndScales) {
+  for (int k = 0; k < 12; ++k) {
+    const double theta = geom::kTwoPi * k / 12.0;
+    const double r = 0.25 + 0.25 * (k % 3);
+    const double t = 1.0 + k * 0.5;
+    const Vec2 b_start = (t + r) * geom::unit_vector(theta);
+    const Instance instance =
+        Instance::synchronous(r, b_start, 0.0, Rational::from_double(t), 1);
+    const sim::SimResult result = run_dedicated(instance, /*s2=*/false);
+    ASSERT_TRUE(result.met) << "k=" << k;
+    EXPECT_NEAR(result.final_distance, r, 1e-6) << "k=" << k;
+  }
+}
+
+TEST(BoundaryS1, TrivialOverlapMeetsImmediately) {
+  const Instance instance = Instance::synchronous(2.0, Vec2{1.0, 0.0}, 0.0, 0, 1);
+  const sim::SimResult result = run_dedicated(instance, /*s2=*/false);
+  ASSERT_TRUE(result.met);
+  EXPECT_DOUBLE_EQ(result.meet_time, 0.0);
+}
+
+TEST(BoundaryS1, RejectsWrongInstances) {
+  // Wrong chirality / rotation / asynchrony / infeasible t: checked misuse.
+  const auto run = [](const Instance& instance) {
+    auto program = boundary_s1_algorithm(instance);
+    (void)program.next();
+  };
+  EXPECT_THROW(run(Instance::synchronous(1.0, Vec2{5, 0}, 0.0, 4, -1)), std::logic_error);
+  EXPECT_THROW(run(Instance::synchronous(1.0, Vec2{5, 0}, 0.5, 4, 1)), std::logic_error);
+  EXPECT_THROW(run(Instance(1.0, Vec2{5, 0}, 0.0, 2, 1, 4, 1)), std::logic_error);
+  EXPECT_THROW(run(Instance::synchronous(1.0, Vec2{5, 0}, 0.0, 1, 1)), std::logic_error);
+}
+
+TEST(BoundaryS2, Lemma39CaseProjBNorthOfProjA) {
+  // chi = -1, phi = 0: canonical line is horizontal through y/2. Place B
+  // "ahead" along the line (its projection East of A's in the paper's Sigma
+  // convention is irrelevant — both cases must meet).
+  const double r = 1.0;
+  const Vec2 b_start{4.0, 1.0};  // dist_proj = 4 along the x-axis
+  const Rational t = 3;          // = dist_proj - r
+  const Instance instance = Instance::synchronous(r, b_start, 0.0, t, -1);
+  const sim::SimResult result = run_dedicated(instance, /*s2=*/true);
+  ASSERT_TRUE(result.met);
+  EXPECT_NEAR(result.final_distance, r, 1e-6);
+  // Both agents ended on the canonical line y = 1/2.
+  EXPECT_NEAR(result.a_position.y, 0.5, 1e-6);
+  EXPECT_NEAR(result.b_position.y, 0.5, 1e-6);
+}
+
+TEST(BoundaryS2, WorksAcrossRotationsAndOffsets) {
+  // Sweep phi and lateral offsets; t is pinned to dist_proj - r each time.
+  for (int k = 0; k < 16; ++k) {
+    const double phi = geom::kTwoPi * k / 16.0;
+    const double r = 0.5;
+    const double lateral = 0.3 + 0.2 * (k % 4);
+    const double along = 2.0 + 0.25 * k;
+    const Vec2 dir = geom::unit_vector(phi / 2.0);
+    const Vec2 b_start = along * dir + lateral * dir.perp();
+    const Instance probe = Instance::synchronous(r, b_start, phi, 0, -1);
+    const double dist_proj = probe.projection_distance();
+    ASSERT_NEAR(dist_proj, along, 1e-9);
+    if (dist_proj <= r) continue;
+    const Instance instance =
+        probe.with_delay(Rational::from_double(dist_proj - r));
+    const sim::SimResult result = run_dedicated(instance, /*s2=*/true);
+    ASSERT_TRUE(result.met) << "k=" << k << " " << instance.to_string();
+    EXPECT_NEAR(result.final_distance, r, 1e-5) << "k=" << k;
+  }
+}
+
+TEST(BoundaryS2, InteriorInstancesAlsoCovered) {
+  // Lemma 3.9's algorithm also works for t > dist_proj - r (the "if"
+  // direction of the feasibility characterization uses it for t >= ...).
+  const Instance instance = Instance::synchronous(1.0, Vec2{4.0, 1.0}, 0.0, 5, -1);
+  const sim::SimResult result = run_dedicated(instance, /*s2=*/true);
+  ASSERT_TRUE(result.met);
+  EXPECT_LE(result.final_distance, 1.0 + 1e-6);
+}
+
+TEST(BoundaryS2, RejectsWrongInstances) {
+  const auto run = [](const Instance& instance) {
+    auto program = boundary_s2_algorithm(instance);
+    (void)program.next();
+  };
+  EXPECT_THROW(run(Instance::synchronous(1.0, Vec2{4, 1}, 0.0, 3, 1)), std::logic_error);
+  EXPECT_THROW(run(Instance(1.0, Vec2{4, 1}, 0.0, 2, 1, 3, -1)), std::logic_error);
+  EXPECT_THROW(run(Instance::synchronous(1.0, Vec2{9, 0}, 0.0, 1, -1)), std::logic_error);
+}
+
+TEST(BoundaryS2, AgentsMoveSymmetricallyAboutCanonicalLine) {
+  // Trace check of the reflection symmetry (Lemma 2.1): with t = 0 both
+  // agents reach the line simultaneously, mirror images of each other.
+  const Instance instance = Instance::synchronous(2.0, Vec2{1.0, 3.0}, 0.0, 0, -1);
+  // dist_proj = 1 <= r: boundary algorithm is legal (t=0 >= 1-2).
+  sim::EngineConfig config;
+  config.trace_capacity = 256;
+  const sim::AlgorithmFactory factory = [&instance] {
+    return boundary_s2_algorithm(instance);
+  };
+  const sim::SimResult result = sim::Engine(instance, config).run(factory);
+  const geom::Line line = instance.canonical_line();
+  for (const sim::TracePoint& point : result.trace.points()) {
+    EXPECT_NEAR(line.signed_distance_to(point.a), -line.signed_distance_to(point.b), 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace aurv::algo

@@ -1,0 +1,221 @@
+// Tests for the search procedures: LinearCowWalk/PlanarCowWalk (Algorithms
+// 3 and 2), Latecomers, CGKK, and WaitAndSearch. These check the structural
+// claims the paper's proofs rely on (return-to-start, coverage, durations)
+// directly on the instruction streams.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "algo/cgkk.hpp"
+#include "algo/cow_walk.hpp"
+#include "algo/latecomers.hpp"
+#include "algo/wait_and_search.hpp"
+#include "geom/angle.hpp"
+#include "geom/vec2.hpp"
+#include "program/combinators.hpp"
+#include "program/instruction.hpp"
+
+namespace aurv::algo {
+namespace {
+
+using geom::Vec2;
+using numeric::Rational;
+using program::Instruction;
+
+std::vector<Instruction> collect(program::Program p) {
+  std::vector<Instruction> result;
+  for (const Instruction& instruction : p) result.push_back(instruction);
+  return result;
+}
+
+/// All points visited by a finite move sequence, at instruction endpoints.
+std::vector<Vec2> waypoints(const std::vector<Instruction>& instructions) {
+  std::vector<Vec2> points{Vec2{0, 0}};
+  Vec2 at{};
+  for (const Instruction& instruction : instructions) {
+    if (const auto* move = std::get_if<program::Go>(&instruction)) {
+      at += move->distance.to_double() * geom::unit_vector(move->heading);
+    }
+    points.push_back(at);
+  }
+  return points;
+}
+
+TEST(LinearCowWalk, StructureMatchesAlgorithm3) {
+  const std::vector<Instruction> walk = collect(linear_cow_walk(3));
+  ASSERT_EQ(walk.size(), 9u);  // 3 steps of 3 moves
+  // Step j: E 2^j, W 2^{j+1}, E 2^j.
+  for (std::uint32_t j = 1; j <= 3; ++j) {
+    const auto& east1 = std::get<program::Go>(walk[3 * (j - 1)]);
+    const auto& west = std::get<program::Go>(walk[3 * (j - 1) + 1]);
+    const auto& east2 = std::get<program::Go>(walk[3 * (j - 1) + 2]);
+    EXPECT_EQ(east1.distance, Rational::pow2(j));
+    EXPECT_EQ(west.distance, Rational::pow2(j + 1));
+    EXPECT_EQ(east2.distance, Rational::pow2(j));
+    EXPECT_DOUBLE_EQ(east1.heading, program::kEast);
+    EXPECT_DOUBLE_EQ(west.heading, program::kWest);
+  }
+  EXPECT_THROW((void)linear_cow_walk(0), std::logic_error);
+  EXPECT_THROW((void)linear_cow_walk(kMaxCowWalkIndex + 1), std::logic_error);
+}
+
+TEST(LinearCowWalk, ReturnsToStartAndCoversSegment) {
+  for (std::uint32_t i = 1; i <= 5; ++i) {
+    const std::vector<Instruction> walk = collect(linear_cow_walk(i));
+    // Ends where it started (the walk is used inside loops that rely on it).
+    EXPECT_NEAR(program::net_displacement(walk).norm(), 0.0, 1e-9) << i;
+    // Visits every x in [-2^i, 2^i]: check the extreme waypoints.
+    double min_x = 0.0;
+    double max_x = 0.0;
+    for (const Vec2& p : waypoints(walk)) {
+      min_x = std::min(min_x, p.x);
+      max_x = std::max(max_x, p.x);
+      EXPECT_NEAR(p.y, 0.0, 1e-12);  // purely horizontal
+    }
+    EXPECT_NEAR(max_x, std::ldexp(1.0, static_cast<int>(i)), 1e-9);
+    EXPECT_NEAR(min_x, -std::ldexp(1.0, static_cast<int>(i)), 1e-9);
+  }
+}
+
+TEST(LinearCowWalk, DurationClosedForm) {
+  for (std::uint32_t i = 1; i <= 8; ++i) {
+    EXPECT_EQ(program::total_duration(collect(linear_cow_walk(i))),
+              linear_cow_walk_duration(i))
+        << i;
+  }
+}
+
+TEST(PlanarCowWalk, ReturnsToStart) {
+  for (std::uint32_t i = 1; i <= 3; ++i) {
+    const std::vector<Instruction> walk = collect(planar_cow_walk(i));
+    EXPECT_NEAR(program::net_displacement(walk).norm(), 0.0, 1e-9) << i;
+  }
+}
+
+TEST(PlanarCowWalk, DurationClosedForm) {
+  for (std::uint32_t i = 1; i <= 3; ++i) {
+    EXPECT_EQ(program::total_duration(collect(planar_cow_walk(i))),
+              planar_cow_walk_duration(i))
+        << i;
+  }
+}
+
+TEST(PlanarCowWalk, Claim37GridCoverage) {
+  // Claim 3.7: the walk passes within 1/2^i of every point of the square
+  // [-2^i, 2^i]^2 — because it traverses the full horizontal segment at
+  // every height k/2^i, |k| <= 2^(2i). Verify the set of heights visited.
+  const std::uint32_t i = 2;
+  const std::vector<Instruction> walk = collect(planar_cow_walk(i));
+  std::set<long long> heights;  // in units of 1/2^i
+  Vec2 at{};
+  double min_x = 0.0;
+  double max_x = 0.0;
+  for (const Instruction& instruction : walk) {
+    if (const auto* move = std::get_if<program::Go>(&instruction)) {
+      at += move->distance.to_double() * geom::unit_vector(move->heading);
+    }
+    const double scaled = at.y * std::ldexp(1.0, static_cast<int>(i));
+    const long long rounded = std::llround(scaled);
+    EXPECT_NEAR(scaled, static_cast<double>(rounded), 1e-9);  // dyadic heights only
+    heights.insert(rounded);
+    min_x = std::min(min_x, at.x);
+    max_x = std::max(max_x, at.x);
+  }
+  const long long reach = 1LL << (2 * i);  // 2^(2i) rungs of 1/2^i each side
+  for (long long k = -reach; k <= reach; ++k) {
+    EXPECT_TRUE(heights.count(k)) << "missing height " << k << "/2^" << i;
+  }
+  EXPECT_NEAR(max_x, std::ldexp(1.0, static_cast<int>(i)), 1e-9);
+  EXPECT_NEAR(min_x, -std::ldexp(1.0, static_cast<int>(i)), 1e-9);
+}
+
+TEST(Latecomers, PhaseStructure) {
+  // Phase i: 2^(i+1) out-and-back trips of reach 2^i, headings k*pi/2^i.
+  const Rational phase1 = latecomers_phase_duration(1);
+  EXPECT_EQ(phase1, Rational(16));  // 4 trips * 2*2
+  const std::vector<Instruction> prefix =
+      program::take_duration(latecomers(), phase1);
+  ASSERT_EQ(prefix.size(), 8u);  // 4 trips, 2 moves each
+  for (std::size_t trip = 0; trip < 4; ++trip) {
+    const auto& out = std::get<program::Go>(prefix[2 * trip]);
+    const auto& back = std::get<program::Go>(prefix[2 * trip + 1]);
+    EXPECT_EQ(out.distance, Rational(2));
+    EXPECT_EQ(back.distance, Rational(2));
+    EXPECT_NEAR(out.heading, geom::dyadic_angle(static_cast<std::int64_t>(trip), 1), 1e-12);
+    EXPECT_NEAR(back.heading - out.heading, geom::kPi, 1e-12);
+  }
+  // Every trip returns to the origin.
+  EXPECT_NEAR(program::net_displacement(prefix).norm(), 0.0, 1e-9);
+}
+
+TEST(Latecomers, DirectionsDensifyAcrossPhases) {
+  // Phase i uses direction granularity pi/2^i; the union over phases is
+  // dense — count distinct headings in the first three phases.
+  const Rational horizon =
+      latecomers_phase_duration(1) + latecomers_phase_duration(2) + latecomers_phase_duration(3);
+  const std::vector<Instruction> prefix = program::take_duration(latecomers(), horizon);
+  std::set<long long> headings;  // quantized
+  for (const Instruction& instruction : prefix) {
+    const auto& move = std::get<program::Go>(instruction);
+    headings.insert(std::llround(geom::normalize_angle(move.heading) * 1e9));
+  }
+  // Phase 3 alone contributes 2^4 = 16 outbound directions k*pi/8 covering
+  // the full circle; the return headings (+pi) and the coarser phase-1/2
+  // grids are subsets of the same set, so exactly 16 distinct headings.
+  EXPECT_EQ(headings.size(), 16u);
+}
+
+TEST(Cgkk, IsIteratedPlanarCowWalk) {
+  const Rational horizon = planar_cow_walk_duration(1) + planar_cow_walk_duration(2);
+  const std::vector<Instruction> prefix = program::take_duration(cgkk(), horizon);
+  std::vector<Instruction> expected = collect(planar_cow_walk(1));
+  const std::vector<Instruction> second = collect(planar_cow_walk(2));
+  expected.insert(expected.end(), second.begin(), second.end());
+  ASSERT_EQ(prefix.size(), expected.size());
+  for (std::size_t k = 0; k < prefix.size(); ++k) {
+    EXPECT_EQ(prefix[k], expected[k]) << k;
+  }
+}
+
+TEST(Cgkk, PureSearchHasNoWaits) {
+  // Block 4 of Algorithm 1 cuts the CGKK solo execution into time slices;
+  // our CGKK being wait-free keeps every slice a pure move (so the paper's
+  // "agent travels at most r/4 per segment" argument applies verbatim).
+  const std::vector<Instruction> prefix =
+      program::take_duration(cgkk(), Rational::pow2(6));
+  for (const Instruction& instruction : prefix) {
+    EXPECT_TRUE(program::is_move(instruction));
+  }
+}
+
+TEST(CgkkExtended, InterleavesWaits) {
+  const Rational horizon = planar_cow_walk_duration(1) + Rational::pow2(15) + Rational(1);
+  const std::vector<Instruction> prefix =
+      program::take_duration(cgkk_extended(), horizon);
+  bool saw_wait = false;
+  for (const Instruction& instruction : prefix) {
+    if (!program::is_move(instruction)) {
+      saw_wait = true;
+      EXPECT_GE(program::duration_of(instruction), Rational(1));
+    }
+  }
+  EXPECT_TRUE(saw_wait);
+}
+
+TEST(WaitAndSearch, PhaseIsWaitThenWalk) {
+  const std::vector<Instruction> prefix = program::take_duration(
+      wait_and_search(), wait_and_search_pause(1) + planar_cow_walk_duration(1));
+  ASSERT_FALSE(prefix.empty());
+  EXPECT_FALSE(program::is_move(prefix.front()));
+  EXPECT_EQ(program::duration_of(prefix.front()), Rational::pow2(15));
+  for (std::size_t k = 1; k < prefix.size(); ++k) {
+    EXPECT_TRUE(program::is_move(prefix[k])) << k;
+  }
+  EXPECT_EQ(wait_and_search_pause(2), Rational::pow2(60));
+  EXPECT_EQ(wait_and_search_pause(3), Rational::pow2(135));
+}
+
+}  // namespace
+}  // namespace aurv::algo

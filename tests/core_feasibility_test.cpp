@@ -1,0 +1,162 @@
+// Tests for the Theorem 3.1 feasibility characterization and the type
+// taxonomy driving Algorithm 1.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "core/feasibility.hpp"
+#include "geom/angle.hpp"
+
+namespace aurv::core {
+namespace {
+
+using agents::Instance;
+using geom::Vec2;
+using numeric::Rational;
+
+TEST(Feasibility, TrivialOverlapPrecedesEverything) {
+  const Classification c =
+      classify(Instance::synchronous(5.0, Vec2{3.0, 0.0}, 0.0, 0, 1));
+  EXPECT_EQ(c.kind, InstanceKind::TrivialOverlap);
+  EXPECT_TRUE(c.feasible);
+  EXPECT_TRUE(c.covered_by_aurv);
+}
+
+TEST(Feasibility, NonSynchronousAlwaysFeasible) {
+  // Theorem 3.1(1). tau != 1 -> type 3; tau = 1, v != 1 -> type 4.
+  const Classification slow_clock =
+      classify(Instance(1.0, Vec2{5, 0}, 0.0, /*tau=*/2, /*v=*/1, /*t=*/0, 1));
+  EXPECT_EQ(slow_clock.kind, InstanceKind::Type3);
+  EXPECT_TRUE(slow_clock.feasible);
+  EXPECT_FALSE(slow_clock.synchronous);
+
+  const Classification fast_speed =
+      classify(Instance(1.0, Vec2{5, 0}, 0.0, /*tau=*/1, /*v=*/2, /*t=*/0, 1));
+  EXPECT_EQ(fast_speed.kind, InstanceKind::Type4);
+  EXPECT_TRUE(fast_speed.feasible);
+
+  // Even with chi = -1, zero delay and phi = 0 — differences in dynamics
+  // break symmetry (no synchronous clause applies).
+  const Classification mirrored(
+      classify(Instance(1.0, Vec2{5, 0}, 0.0, Rational(numeric::BigInt(3), numeric::BigInt(2)),
+                        1, 0, -1)));
+  EXPECT_EQ(mirrored.kind, InstanceKind::Type3);
+  EXPECT_TRUE(mirrored.feasible);
+}
+
+TEST(Feasibility, SynchronousChiPlusRotated) {
+  // Theorem 3.1(2a): chi=+1, phi != 0 feasible regardless of t.
+  const Classification c =
+      classify(Instance::synchronous(1.0, Vec2{5, 0}, 1.0, 0, 1));
+  EXPECT_EQ(c.kind, InstanceKind::Type4);
+  EXPECT_TRUE(c.feasible);
+  EXPECT_TRUE(c.synchronous);
+}
+
+TEST(Feasibility, SynchronousShiftClause2b) {
+  // chi=+1, phi=0: feasible iff t >= dist - r (Lemma 3.8); strict -> type 2,
+  // equality -> S1, below -> infeasible.
+  const Vec2 b{3.0, 4.0};  // dist = 5
+  const double r = 1.0;
+  const Classification above = classify(Instance::synchronous(r, b, 0.0, 5, 1));
+  EXPECT_EQ(above.kind, InstanceKind::Type2);
+  EXPECT_TRUE(above.covered_by_aurv);
+  EXPECT_NEAR(above.boundary_slack, 1.0, 1e-12);
+
+  const Classification at = classify(Instance::synchronous(r, b, 0.0, 4, 1));
+  EXPECT_EQ(at.kind, InstanceKind::BoundaryS1);
+  EXPECT_TRUE(at.feasible);
+  EXPECT_FALSE(at.covered_by_aurv);
+
+  const Classification below = classify(Instance::synchronous(r, b, 0.0, 3, 1));
+  EXPECT_EQ(below.kind, InstanceKind::Infeasible);
+  EXPECT_FALSE(below.feasible);
+}
+
+TEST(Feasibility, SynchronousMirroredClause2c) {
+  // chi=-1: feasible iff t >= dist(projA, projB) - r (Lemma 3.9). Projection
+  // distance depends on phi: b on the line direction phi/2 projects fully.
+  const double phi = geom::kPi / 2;
+  const Vec2 along = geom::unit_vector(phi / 2.0);
+  const Vec2 b = 4.0 * along + 2.0 * along.perp();  // dist_proj = 4
+  const double r = 1.0;
+  const Classification above = classify(Instance::synchronous(r, b, phi, 4, -1));
+  EXPECT_EQ(above.kind, InstanceKind::Type1);
+  EXPECT_NEAR(above.boundary_slack, 1.0, 1e-9);
+
+  const Classification at =
+      classify(Instance::synchronous(r, b, phi, 3, -1), /*boundary_eps=*/1e-9);
+  EXPECT_EQ(at.kind, InstanceKind::BoundaryS2);
+  EXPECT_TRUE(at.feasible);
+  EXPECT_FALSE(at.covered_by_aurv);
+
+  const Classification below = classify(Instance::synchronous(r, b, phi, 2, -1));
+  EXPECT_EQ(below.kind, InstanceKind::Infeasible);
+  // Large lateral separation alone cannot rescue a chi=-1 instance: only
+  // the projection distance matters.
+  const Vec2 far_lateral = 0.5 * along + 50.0 * along.perp();
+  const Classification lateral =
+      classify(Instance::synchronous(r, far_lateral, phi, 0, -1));
+  EXPECT_EQ(lateral.kind, InstanceKind::Type1);  // dist_proj = 0.5 <= r - t... feasible
+  EXPECT_TRUE(lateral.feasible);
+}
+
+TEST(Feasibility, PredicatesAgreeWithClassification) {
+  std::mt19937_64 rng(97);
+  std::uniform_real_distribution<double> coord(-6.0, 6.0);
+  std::uniform_real_distribution<double> angle(0.0, geom::kTwoPi);
+  std::uniform_int_distribution<int> delay(0, 8);
+  for (int k = 0; k < 500; ++k) {
+    const bool sync = k % 2 == 0;
+    const Rational tau = sync ? Rational(1) : Rational(numeric::BigInt(3), numeric::BigInt(2));
+    const Instance instance(0.75, Vec2{coord(rng), coord(rng)},
+                            (k % 3 == 0) ? 0.0 : angle(rng), tau, 1, delay(rng),
+                            (k % 5 < 2) ? -1 : 1);
+    const Classification c = classify(instance);
+    EXPECT_EQ(is_feasible(instance), c.feasible);
+    EXPECT_EQ(is_covered_by_aurv(instance), c.covered_by_aurv);
+    // Structural consistency.
+    if (c.covered_by_aurv) {
+      EXPECT_TRUE(c.feasible);
+    }
+    if (c.kind == InstanceKind::Infeasible) {
+      EXPECT_FALSE(c.feasible);
+    }
+    if (c.kind == InstanceKind::BoundaryS1 || c.kind == InstanceKind::BoundaryS2) {
+      EXPECT_TRUE(c.feasible);
+      EXPECT_FALSE(c.covered_by_aurv);
+      EXPECT_NEAR(c.boundary_slack, 0.0, 1e-9);
+    }
+    EXPECT_FALSE(c.clause.empty());
+  }
+}
+
+TEST(Feasibility, BoundaryEpsControlsBoundaryWidth) {
+  const Vec2 b{3.0, 4.0};
+  // Slack of 1e-6 counts as boundary only with a loose epsilon.
+  const Instance near_boundary =
+      Instance::synchronous(1.0, b, 0.0, Rational::from_double(4.0 + 1e-6), 1);
+  EXPECT_EQ(classify(near_boundary, 1e-12).kind, InstanceKind::Type2);
+  EXPECT_EQ(classify(near_boundary, 1e-3).kind, InstanceKind::BoundaryS1);
+}
+
+TEST(Feasibility, KindNamesAreStable) {
+  EXPECT_EQ(to_string(InstanceKind::Type1), "type-1");
+  EXPECT_EQ(to_string(InstanceKind::BoundaryS2), "boundary-S2");
+  EXPECT_EQ(to_string(InstanceKind::Infeasible), "infeasible");
+  EXPECT_EQ(to_string(InstanceKind::TrivialOverlap), "trivial-overlap");
+}
+
+TEST(Feasibility, InfeasibleInstancesHaveInvariantDistanceArgument) {
+  // The "only if" of Theorem 3.1 for the fully symmetric case: identical
+  // attributes, t = 0, chi = +1, phi = 0 — the relative displacement of the
+  // two agents can never change, whatever the algorithm.
+  const Classification c =
+      classify(Instance::synchronous(1.0, Vec2{5.0, 0.0}, 0.0, 0, 1));
+  EXPECT_EQ(c.kind, InstanceKind::Infeasible);
+  EXPECT_LT(c.boundary_slack, 0.0);
+}
+
+}  // namespace
+}  // namespace aurv::core

@@ -1,0 +1,352 @@
+// Tests for the geometry kernel: vectors, angles, lines, similarity
+// transforms, the canonical line of Definition 2.1, and the closest-approach
+// solver the simulator is built on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "geom/angle.hpp"
+#include "geom/canonical_line.hpp"
+#include "geom/closest_approach.hpp"
+#include "geom/line.hpp"
+#include "geom/similarity.hpp"
+#include "geom/vec2.hpp"
+
+namespace aurv::geom {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+TEST(Vec2, BasicAlgebra) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{-3.0, 4.0};
+  EXPECT_EQ(a + b, (Vec2{-2.0, 6.0}));
+  EXPECT_EQ(a - b, (Vec2{4.0, -2.0}));
+  EXPECT_EQ(2.0 * a, (Vec2{2.0, 4.0}));
+  EXPECT_DOUBLE_EQ(a.dot(b), 5.0);
+  EXPECT_DOUBLE_EQ(a.cross(b), 10.0);
+  EXPECT_DOUBLE_EQ((Vec2{3.0, 4.0}).norm(), 5.0);
+  EXPECT_EQ(a.perp(), (Vec2{-2.0, 1.0}));
+  EXPECT_NEAR((Vec2{3.0, 4.0}).normalized().norm(), 1.0, kTol);
+  EXPECT_EQ((Vec2{0.0, 0.0}).normalized(), (Vec2{0.0, 0.0}));
+}
+
+TEST(Angle, NormalizeRanges) {
+  EXPECT_NEAR(normalize_angle(0.0), 0.0, kTol);
+  EXPECT_NEAR(normalize_angle(kTwoPi), 0.0, kTol);
+  EXPECT_NEAR(normalize_angle(-kPi / 2), 3 * kPi / 2, kTol);
+  EXPECT_NEAR(normalize_angle(5 * kPi), kPi, kTol);
+  EXPECT_NEAR(normalize_angle_signed(3 * kPi / 2), -kPi / 2, kTol);
+  EXPECT_NEAR(normalize_angle_signed(kPi), kPi, kTol);
+  for (double a = -20.0; a < 20.0; a += 0.377) {
+    const double n = normalize_angle(a);
+    EXPECT_GE(n, 0.0);
+    EXPECT_LT(n, kTwoPi);
+    EXPECT_NEAR(std::cos(n), std::cos(a), 1e-9);
+    EXPECT_NEAR(std::sin(n), std::sin(a), 1e-9);
+  }
+}
+
+TEST(Angle, DyadicAngleExactIntegers) {
+  EXPECT_DOUBLE_EQ(dyadic_angle(1, 0), kPi);
+  EXPECT_DOUBLE_EQ(dyadic_angle(1, 1), kPi / 2);
+  EXPECT_DOUBLE_EQ(dyadic_angle(3, 2), 3 * kPi / 4);
+  EXPECT_DOUBLE_EQ(dyadic_angle(-1, 1), -kPi / 2);
+  // Direct construction, no drift: k pi/2^i summed 2^i times equals k pi.
+  const double step = dyadic_angle(1, 10);
+  EXPECT_NEAR(step * 1024, kPi, 1e-12);
+}
+
+TEST(Angle, LineAndRayAngles) {
+  EXPECT_NEAR(line_angle_between(0.0, kPi), 0.0, kTol);       // same line
+  EXPECT_NEAR(line_angle_between(0.0, kPi / 2), kPi / 2, kTol);
+  EXPECT_NEAR(line_angle_between(0.1, kPi + 0.1), 0.0, kTol);
+  EXPECT_NEAR(ray_angle_between(0.0, kPi), kPi, kTol);        // opposite rays
+  EXPECT_NEAR(ray_angle_between(0.1, kTwoPi + 0.1), 0.0, kTol);
+  EXPECT_NEAR(ray_angle_between(-0.3, 0.3), 0.6, kTol);
+}
+
+TEST(Line, ProjectionAndDistance) {
+  const Line x_axis(Vec2{0.0, 0.0}, Vec2{1.0, 0.0});
+  EXPECT_EQ(x_axis.project(Vec2{3.0, 4.0}), (Vec2{3.0, 0.0}));
+  EXPECT_DOUBLE_EQ(x_axis.distance_to(Vec2{3.0, 4.0}), 4.0);
+  EXPECT_DOUBLE_EQ(x_axis.signed_distance_to(Vec2{3.0, 4.0}), 4.0);
+  EXPECT_DOUBLE_EQ(x_axis.signed_distance_to(Vec2{3.0, -4.0}), -4.0);
+  EXPECT_DOUBLE_EQ(x_axis.coordinate(Vec2{7.0, 1.0}), 7.0);
+  EXPECT_EQ(x_axis.reflect(Vec2{2.0, 5.0}), (Vec2{2.0, -5.0}));
+  EXPECT_THROW(Line(Vec2{}, Vec2{}), std::logic_error);
+
+  const Line diag = Line::through_at_angle(Vec2{1.0, 1.0}, kPi / 4);
+  EXPECT_NEAR(diag.inclination(), kPi / 4, kTol);
+  EXPECT_NEAR(diag.distance_to(Vec2{2.0, 2.0}), 0.0, kTol);
+  const Vec2 p = diag.project(Vec2{2.0, 0.0});
+  EXPECT_NEAR(p.x, 1.0, kTol);
+  EXPECT_NEAR(p.y, 1.0, kTol);
+}
+
+TEST(Line, ProjectionIsIdempotentAndOrthogonal) {
+  std::mt19937_64 rng(11);
+  std::uniform_real_distribution<double> coord(-10.0, 10.0);
+  std::uniform_real_distribution<double> angle(0.0, kTwoPi);
+  for (int k = 0; k < 100; ++k) {
+    const Line line = Line::through_at_angle(Vec2{coord(rng), coord(rng)}, angle(rng));
+    const Vec2 p{coord(rng), coord(rng)};
+    const Vec2 foot = line.project(p);
+    EXPECT_NEAR(dist(line.project(foot), foot), 0.0, 1e-9);
+    EXPECT_NEAR((p - foot).dot(line.direction()), 0.0, 1e-9);
+    EXPECT_NEAR((p - foot).norm(), line.distance_to(p), 1e-9);
+  }
+}
+
+TEST(Similarity, IdentityAndBasicMaps) {
+  const Similarity id;
+  EXPECT_EQ(id.apply(Vec2{3.0, 4.0}), (Vec2{3.0, 4.0}));
+  EXPECT_DOUBLE_EQ(id.apply_heading(1.0), 1.0);
+
+  // Pure rotation by pi/2.
+  const Similarity rot({}, kPi / 2, 1, 1.0);
+  const Vec2 image = rot.apply(Vec2{1.0, 0.0});
+  EXPECT_NEAR(image.x, 0.0, kTol);
+  EXPECT_NEAR(image.y, 1.0, kTol);
+
+  // Mirror (chi = -1, phi = 0) flips y and heading sign.
+  const Similarity mirror({}, 0.0, -1, 1.0);
+  EXPECT_NEAR(mirror.apply(Vec2{1.0, 2.0}).y, -2.0, kTol);
+  EXPECT_NEAR(normalize_angle_signed(mirror.apply_heading(0.7)), -0.7, kTol);
+
+  EXPECT_THROW(Similarity({}, 0.0, 2, 1.0), std::logic_error);
+  EXPECT_THROW(Similarity({}, 0.0, 1, 0.0), std::logic_error);
+}
+
+TEST(Similarity, HeadingMatchesLinearMap) {
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> angle(0.0, kTwoPi);
+  std::uniform_real_distribution<double> scale(0.1, 5.0);
+  for (int k = 0; k < 200; ++k) {
+    const int chi = (k % 2 == 0) ? 1 : -1;
+    const Similarity sim({}, angle(rng), chi, scale(rng));
+    const double beta = angle(rng);
+    const Vec2 mapped = sim.apply_linear(unit_vector(beta));
+    const double expected = sim.apply_heading(beta);
+    EXPECT_NEAR(ray_angle_between(std::atan2(mapped.y, mapped.x), expected), 0.0, 1e-9);
+    EXPECT_NEAR(mapped.norm(), sim.scale(), 1e-9);
+  }
+}
+
+TEST(Similarity, InverseComposesToIdentity) {
+  std::mt19937_64 rng(13);
+  std::uniform_real_distribution<double> coord(-5.0, 5.0);
+  std::uniform_real_distribution<double> angle(0.0, kTwoPi);
+  std::uniform_real_distribution<double> scale(0.2, 4.0);
+  for (int k = 0; k < 200; ++k) {
+    const int chi = (k % 2 == 0) ? 1 : -1;
+    const Similarity sim({coord(rng), coord(rng)}, angle(rng), chi, scale(rng));
+    const Similarity inv = sim.inverse();
+    const Vec2 p{coord(rng), coord(rng)};
+    EXPECT_NEAR(dist(inv.apply(sim.apply(p)), p), 0.0, 1e-9);
+    EXPECT_NEAR(dist(sim.apply(inv.apply(p)), p), 0.0, 1e-9);
+    // compose() agrees with function composition.
+    const Similarity sim2({coord(rng), coord(rng)}, angle(rng), -chi, scale(rng));
+    const Vec2 q{coord(rng), coord(rng)};
+    EXPECT_NEAR(dist(sim.compose(sim2).apply(q), sim.apply(sim2.apply(q))), 0.0, 1e-9);
+  }
+}
+
+TEST(Similarity, FixedPointTheory) {
+  // The CGKK substitution's invertibility claim (DESIGN.md): I - M singular
+  // exactly when scale = 1 and (chi=-1 or phi=0).
+  const Similarity sync_shift({1.0, 2.0}, 0.0, 1, 1.0);
+  EXPECT_FALSE(sync_shift.fixed_point().has_value());
+  const Similarity mirror_any_phi({1.0, 2.0}, 1.234, -1, 1.0);
+  EXPECT_FALSE(mirror_any_phi.fixed_point().has_value());
+
+  const Similarity rotated({1.0, 2.0}, 0.8, 1, 1.0);
+  const Similarity scaled({1.0, 2.0}, 0.0, 1, 2.0);
+  const Similarity scaled_mirror({1.0, 2.0}, 0.8, -1, 2.0);
+  for (const Similarity& sim : {rotated, scaled, scaled_mirror}) {
+    const auto fp = sim.fixed_point();
+    ASSERT_TRUE(fp.has_value());
+    EXPECT_NEAR(dist(sim.apply(*fp), *fp), 0.0, 1e-9);
+  }
+}
+
+TEST(CanonicalLine, Definition21Properties) {
+  std::mt19937_64 rng(17);
+  std::uniform_real_distribution<double> coord(-10.0, 10.0);
+  std::uniform_real_distribution<double> angle(0.0, kTwoPi);
+  for (int k = 0; k < 200; ++k) {
+    const Vec2 b{coord(rng), coord(rng)};
+    const double phi = (k % 5 == 0) ? 0.0 : angle(rng);
+    const Line line = canonical_line(b, phi);
+    // Equidistant from both origins (Definition 2.1).
+    EXPECT_NEAR(line.distance_to(Vec2{0.0, 0.0}), line.distance_to(b), 1e-9);
+    // Parallel to the bisectrix: inclination phi/2 (phi = 0: x-axis).
+    EXPECT_NEAR(line_angle_between(line.inclination(), normalize_angle(phi) / 2.0), 0.0, 1e-9);
+    // Projection distance consistency.
+    const double dp = projection_distance(b, phi);
+    EXPECT_NEAR(dp, dist(line.project(Vec2{0.0, 0.0}), line.project(b)), 1e-9);
+    EXPECT_LE(dp, b.norm() + 1e-9);
+  }
+}
+
+TEST(CanonicalLine, SameEquationInBothFramesForChiMinus1) {
+  // Lemma 3.9 relies on the canonical line having the same equation in both
+  // agents' systems when chi = -1 (synchronous): computing "the line through
+  // (x/2, y/2) at inclination phi/2" in B's private coordinates and mapping
+  // through B's pose must give the same absolute line.
+  std::mt19937_64 rng(23);
+  std::uniform_real_distribution<double> coord(-5.0, 5.0);
+  std::uniform_real_distribution<double> angle(0.0, kTwoPi);
+  for (int k = 0; k < 200; ++k) {
+    const Vec2 b{coord(rng), coord(rng)};
+    const double phi = angle(rng);
+    const Similarity pose(b, phi, -1, 1.0);  // B's frame, synchronous chi=-1
+    const Line absolute = canonical_line(b, phi);
+    // B evaluates the same tuple formula in its local coordinates:
+    const Line local = canonical_line(b, phi);
+    const Vec2 p0 = pose.apply(local.point());
+    const Vec2 p1 = pose.apply(local.point() + local.direction());
+    EXPECT_NEAR(absolute.distance_to(p0), 0.0, 1e-9) << "b=(" << b.x << "," << b.y << ")";
+    EXPECT_NEAR(absolute.distance_to(p1), 0.0, 1e-9);
+  }
+}
+
+TEST(ClosestApproach, StaticAndHeadOn) {
+  // Static points.
+  const auto still = closest_approach(Vec2{3.0, 4.0}, Vec2{}, 10.0);
+  EXPECT_DOUBLE_EQ(still.min_distance, 5.0);
+  // Head-on collision: offset (2,0), relative velocity (-1,0).
+  const auto collide = closest_approach(Vec2{2.0, 0.0}, Vec2{-1.0, 0.0}, 10.0);
+  EXPECT_NEAR(collide.min_distance, 0.0, kTol);
+  EXPECT_NEAR(collide.at, 2.0, kTol);
+  // Window too short to reach the minimum.
+  const auto clipped = closest_approach(Vec2{2.0, 0.0}, Vec2{-1.0, 0.0}, 1.0);
+  EXPECT_NEAR(clipped.min_distance, 1.0, kTol);
+  EXPECT_NEAR(clipped.at, 1.0, kTol);
+}
+
+TEST(ClosestApproach, FirstContactRoots) {
+  // Approach from distance 3 at unit speed toward radius 1: contact at s=2.
+  const auto hit = first_contact(Vec2{3.0, 0.0}, Vec2{-1.0, 0.0}, 1.0, 10.0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(*hit, 2.0, 1e-9);
+  // Already inside the radius: contact at 0.
+  EXPECT_EQ(first_contact(Vec2{0.5, 0.0}, Vec2{1.0, 0.0}, 1.0, 10.0), 0.0);
+  // Moving away: no contact.
+  EXPECT_FALSE(first_contact(Vec2{3.0, 0.0}, Vec2{1.0, 0.0}, 1.0, 10.0).has_value());
+  // Passing by at miss distance 2 > 1: no contact.
+  EXPECT_FALSE(first_contact(Vec2{3.0, 2.0}, Vec2{-1.0, 0.0}, 1.0, 10.0).has_value());
+  // Grazing tangentially at exactly the radius.
+  const auto graze = first_contact(Vec2{3.0, 1.0}, Vec2{-1.0, 0.0}, 1.0, 10.0);
+  ASSERT_TRUE(graze.has_value());
+  EXPECT_NEAR(*graze, 3.0, 1e-6);
+  // Window ends before contact.
+  EXPECT_FALSE(first_contact(Vec2{3.0, 0.0}, Vec2{-1.0, 0.0}, 1.0, 1.5).has_value());
+}
+
+class ClosestApproachProperty : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ClosestApproachProperty, MatchesDenseSampling) {
+  std::mt19937_64 rng(GetParam() * 101 + 3);
+  std::uniform_real_distribution<double> coord(-8.0, 8.0);
+  std::uniform_real_distribution<double> vel(-3.0, 3.0);
+  std::uniform_real_distribution<double> dur(0.1, 12.0);
+  for (int k = 0; k < 200; ++k) {
+    const Vec2 offset{coord(rng), coord(rng)};
+    const Vec2 velocity{vel(rng), vel(rng)};
+    const double duration = dur(rng);
+    const auto result = closest_approach(offset, velocity, duration);
+    double sampled = 1e300;
+    for (int s = 0; s <= 2000; ++s) {
+      const double time = duration * s / 2000.0;
+      sampled = std::min(sampled, (offset + time * velocity).norm());
+    }
+    EXPECT_LE(result.min_distance, sampled + 1e-9);
+    EXPECT_GE(result.min_distance, sampled - 1e-3);  // sampling resolution
+    // The reported argmin achieves the reported minimum.
+    EXPECT_NEAR((offset + result.at * velocity).norm(), result.min_distance, 1e-9);
+
+    // first_contact consistency: contact exists iff min <= radius; the
+    // distance at the reported first-contact time equals the radius (or we
+    // started inside).
+    const double radius = 0.5 + (k % 7) * 0.5;
+    const auto contact = first_contact(offset, velocity, radius, duration);
+    if (result.min_distance <= radius - 1e-9) {
+      ASSERT_TRUE(contact.has_value());
+      const double d0 = offset.norm();
+      if (d0 > radius) {
+        EXPECT_NEAR((offset + *contact * velocity).norm(), radius, 1e-6);
+        // No earlier contact: distance strictly above radius before it.
+        for (int s = 1; s < 50; ++s) {
+          const double time = *contact * s / 50.0;
+          EXPECT_GT((offset + time * velocity).norm(), radius - 1e-6);
+        }
+      } else {
+        EXPECT_EQ(*contact, 0.0);
+      }
+    } else if (result.min_distance > radius + 1e-9) {
+      EXPECT_FALSE(contact.has_value());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClosestApproachProperty, ::testing::Values(1u, 2u, 3u, 4u));
+
+
+TEST(ClosestApproach, ContactIntervalKnownCases) {
+  // Head-on pass through a radius-1 disk from distance 3: inside during
+  // s in [2, 4].
+  const auto pass = contact_interval(Vec2{3.0, 0.0}, Vec2{-1.0, 0.0}, 1.0, 10.0);
+  ASSERT_TRUE(pass.has_value());
+  EXPECT_NEAR(pass->enter, 2.0, 1e-9);
+  EXPECT_NEAR(pass->exit, 4.0, 1e-9);
+  // Starting inside and leaving.
+  const auto leaving = contact_interval(Vec2{0.5, 0.0}, Vec2{1.0, 0.0}, 1.0, 10.0);
+  ASSERT_TRUE(leaving.has_value());
+  EXPECT_NEAR(leaving->enter, 0.0, 1e-9);
+  EXPECT_NEAR(leaving->exit, 0.5, 1e-9);
+  // Static inside: whole window. Static outside: none.
+  const auto inside = contact_interval(Vec2{0.5, 0.0}, Vec2{}, 1.0, 7.0);
+  ASSERT_TRUE(inside.has_value());
+  EXPECT_EQ(inside->enter, 0.0);
+  EXPECT_EQ(inside->exit, 7.0);
+  EXPECT_FALSE(contact_interval(Vec2{3.0, 0.0}, Vec2{}, 1.0, 7.0).has_value());
+  // Miss (closest approach 2 > 1).
+  EXPECT_FALSE(contact_interval(Vec2{3.0, 2.0}, Vec2{-1.0, 0.0}, 1.0, 10.0).has_value());
+  // Window ends before entry.
+  EXPECT_FALSE(contact_interval(Vec2{3.0, 0.0}, Vec2{-1.0, 0.0}, 1.0, 1.5).has_value());
+  // Window clips the exit.
+  const auto clipped = contact_interval(Vec2{3.0, 0.0}, Vec2{-1.0, 0.0}, 1.0, 3.0);
+  ASSERT_TRUE(clipped.has_value());
+  EXPECT_NEAR(clipped->exit, 3.0, 1e-9);
+}
+
+TEST(ClosestApproach, ContactIntervalConsistentWithFirstContact) {
+  std::mt19937_64 rng(77);
+  std::uniform_real_distribution<double> coord(-6.0, 6.0);
+  std::uniform_real_distribution<double> vel(-2.0, 2.0);
+  for (int k = 0; k < 300; ++k) {
+    const Vec2 offset{coord(rng), coord(rng)};
+    const Vec2 velocity{vel(rng), vel(rng)};
+    const double radius = 0.5 + (k % 5) * 0.4;
+    const double duration = 0.5 + (k % 7);
+    const auto interval = contact_interval(offset, velocity, radius, duration);
+    const auto first = first_contact(offset, velocity, radius, duration);
+    if (first.has_value()) {
+      ASSERT_TRUE(interval.has_value());
+      EXPECT_NEAR(interval->enter, *first, 1e-6);
+      EXPECT_LE(interval->enter, interval->exit);
+      // Midpoint of the interval is inside the disk.
+      const double mid = (interval->enter + interval->exit) / 2.0;
+      EXPECT_LE((offset + mid * velocity).norm(), radius + 1e-6);
+    } else if (interval.has_value()) {
+      // first_contact misses only when the approach is receding from an
+      // outside start; then contact_interval must also be empty.
+      EXPECT_LE(offset.norm(), radius + 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aurv::geom

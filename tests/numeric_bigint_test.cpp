@@ -1,0 +1,254 @@
+// Unit and property tests for numeric::BigInt — the foundation of the exact
+// event timeline. Property sweeps cross-check against native __int128.
+#include "numeric/bigint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <string>
+
+namespace aurv::numeric {
+namespace {
+
+using i128 = __int128;
+
+std::string i128_to_string(i128 value) {
+  if (value == 0) return "0";
+  const bool negative = value < 0;
+  unsigned __int128 mag = negative ? -static_cast<unsigned __int128>(value)
+                                   : static_cast<unsigned __int128>(value);
+  std::string digits;
+  while (mag != 0) {
+    digits.push_back(static_cast<char>('0' + static_cast<int>(mag % 10)));
+    mag /= 10;
+  }
+  if (negative) digits.push_back('-');
+  return {digits.rbegin(), digits.rend()};
+}
+
+TEST(BigInt, DefaultIsZero) {
+  const BigInt zero;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_EQ(zero.sign(), 0);
+  EXPECT_EQ(zero.to_string(), "0");
+  EXPECT_EQ(zero.bit_length(), 0u);
+  EXPECT_EQ(zero.to_double(), 0.0);
+}
+
+TEST(BigInt, SmallValuesRoundTrip) {
+  for (const long long value : {0LL, 1LL, -1LL, 42LL, -42LL, 1000000007LL,
+                                std::numeric_limits<long long>::max(),
+                                std::numeric_limits<long long>::min()}) {
+    const BigInt big(value);
+    EXPECT_EQ(big.to_string(), std::to_string(value)) << value;
+    EXPECT_TRUE(big.fits_int64());
+    EXPECT_EQ(big.to_int64(), value);
+  }
+}
+
+TEST(BigInt, FromStringParsesAndRejects) {
+  EXPECT_EQ(BigInt::from_string("0"), BigInt(0));
+  EXPECT_EQ(BigInt::from_string("-0"), BigInt(0));
+  EXPECT_EQ(BigInt::from_string("+123"), BigInt(123));
+  EXPECT_EQ(BigInt::from_string("-987654321987654321"), BigInt(-987654321987654321LL));
+  EXPECT_THROW((void)BigInt::from_string(""), std::invalid_argument);
+  EXPECT_THROW((void)BigInt::from_string("-"), std::invalid_argument);
+  EXPECT_THROW((void)BigInt::from_string("12a3"), std::invalid_argument);
+  EXPECT_THROW((void)BigInt::from_string(" 12"), std::invalid_argument);
+}
+
+TEST(BigInt, FromStringLargeRoundTrips) {
+  const std::string big = "123456789012345678901234567890123456789012345678901234567890";
+  EXPECT_EQ(BigInt::from_string(big).to_string(), big);
+  EXPECT_EQ(BigInt::from_string("-" + big).to_string(), "-" + big);
+}
+
+TEST(BigInt, Pow2Structure) {
+  EXPECT_EQ(BigInt::pow2(0), BigInt(1));
+  EXPECT_EQ(BigInt::pow2(10), BigInt(1024));
+  const BigInt huge = BigInt::pow2(540);  // the phase-6 wait exponent
+  EXPECT_EQ(huge.bit_length(), 541u);
+  EXPECT_TRUE(huge.is_pow2());
+  EXPECT_EQ(huge.trailing_zero_bits(), 540u);
+  EXPECT_EQ(huge >> 540, BigInt(1));
+}
+
+TEST(BigInt, AdditionCarriesAcrossLimbs) {
+  const BigInt a = BigInt::pow2(64) - BigInt(1);
+  EXPECT_EQ(a + BigInt(1), BigInt::pow2(64));
+  EXPECT_EQ((a + a).to_string(), (BigInt::pow2(65) - BigInt(2)).to_string());
+}
+
+TEST(BigInt, SubtractionBorrowsAcrossLimbs) {
+  const BigInt a = BigInt::pow2(128);
+  EXPECT_EQ(a - BigInt(1), BigInt::from_string("340282366920938463463374607431768211455"));
+  EXPECT_EQ(a - a, BigInt(0));
+  EXPECT_EQ(BigInt(5) - BigInt(7), BigInt(-2));
+}
+
+TEST(BigInt, MultiplicationKnownValues) {
+  EXPECT_EQ(BigInt(0) * BigInt(12345), BigInt(0));
+  EXPECT_EQ(BigInt(-3) * BigInt(7), BigInt(-21));
+  EXPECT_EQ(BigInt(-3) * BigInt(-7), BigInt(21));
+  // (2^64 - 1)^2 = 2^128 - 2^65 + 1
+  const BigInt a = BigInt::pow2(64) - BigInt(1);
+  EXPECT_EQ(a * a, BigInt::pow2(128) - BigInt::pow2(65) + BigInt(1));
+}
+
+TEST(BigInt, ShiftsInverse) {
+  const BigInt a = BigInt::from_string("987654321987654321987654321");
+  for (const std::uint64_t shift : {1u, 13u, 64u, 65u, 127u, 200u}) {
+    EXPECT_EQ((a << shift) >> shift, a) << shift;
+  }
+  EXPECT_EQ(BigInt(1) >> 1, BigInt(0));
+  EXPECT_EQ(BigInt(-8) >> 2, BigInt(-2));
+}
+
+TEST(BigInt, DivModTruncatedSemantics) {
+  // C semantics: quotient toward zero, remainder has dividend's sign.
+  const auto check = [](long long n, long long d) {
+    const auto dm = BigInt::divmod(BigInt(n), BigInt(d));
+    EXPECT_EQ(dm.quotient, BigInt(n / d)) << n << "/" << d;
+    EXPECT_EQ(dm.remainder, BigInt(n % d)) << n << "%" << d;
+  };
+  check(7, 2);
+  check(-7, 2);
+  check(7, -2);
+  check(-7, -2);
+  check(6, 3);
+  check(0, 5);
+  check(1, 1000000);
+}
+
+TEST(BigInt, DivModReconstruction) {
+  const BigInt n = BigInt::from_string("123456789012345678901234567890123456789");
+  const BigInt d = BigInt::from_string("98765432109876543210");
+  const auto dm = BigInt::divmod(n, d);
+  EXPECT_EQ(dm.quotient * d + dm.remainder, n);
+  EXPECT_LT(dm.remainder, d);
+  EXPECT_GE(dm.remainder, BigInt(0));
+}
+
+TEST(BigInt, DivisionByZeroThrows) {
+  EXPECT_THROW((void)BigInt::divmod(BigInt(1), BigInt(0)), std::logic_error);
+}
+
+TEST(BigInt, GcdKnownValues) {
+  EXPECT_EQ(BigInt::gcd(BigInt(0), BigInt(0)), BigInt(0));
+  EXPECT_EQ(BigInt::gcd(BigInt(0), BigInt(5)), BigInt(5));
+  EXPECT_EQ(BigInt::gcd(BigInt(12), BigInt(18)), BigInt(6));
+  EXPECT_EQ(BigInt::gcd(BigInt(-12), BigInt(18)), BigInt(6));
+  EXPECT_EQ(BigInt::gcd(BigInt::pow2(100), BigInt::pow2(60)), BigInt::pow2(60));
+  EXPECT_EQ(BigInt::gcd(BigInt(17), BigInt(13)), BigInt(1));
+}
+
+TEST(BigInt, ComparisonTotalOrder) {
+  const BigInt values[] = {BigInt::from_string("-100000000000000000000"), BigInt(-2), BigInt(0),
+                           BigInt(1), BigInt::pow2(64), BigInt::pow2(100)};
+  for (std::size_t i = 0; i < std::size(values); ++i) {
+    for (std::size_t j = 0; j < std::size(values); ++j) {
+      EXPECT_EQ(values[i] < values[j], i < j) << i << " " << j;
+      EXPECT_EQ(values[i] == values[j], i == j) << i << " " << j;
+    }
+  }
+}
+
+TEST(BigInt, ToDoubleAccuracy) {
+  EXPECT_DOUBLE_EQ(BigInt(123).to_double(), 123.0);
+  EXPECT_DOUBLE_EQ(BigInt(-123).to_double(), -123.0);
+  EXPECT_DOUBLE_EQ(BigInt::pow2(100).to_double(), std::ldexp(1.0, 100));
+  EXPECT_DOUBLE_EQ(BigInt::pow2(1000).to_double(), std::ldexp(1.0, 1000));
+  EXPECT_TRUE(std::isinf(BigInt::pow2(1100).to_double()));
+  EXPECT_TRUE(std::isinf((-BigInt::pow2(1100)).to_double()));
+  // 2^64 + 2^10: the low bit survives in the 53-bit mantissa window.
+  const BigInt mixed = BigInt::pow2(64) + BigInt::pow2(10);
+  EXPECT_DOUBLE_EQ(mixed.to_double(), std::ldexp(1.0, 64) + 1024.0);
+}
+
+TEST(BigInt, ToInt64Bounds) {
+  EXPECT_EQ(BigInt(std::numeric_limits<std::int64_t>::max()).to_int64(),
+            std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(BigInt(std::numeric_limits<std::int64_t>::min()).to_int64(),
+            std::numeric_limits<std::int64_t>::min());
+  EXPECT_THROW((void)(BigInt(std::numeric_limits<std::int64_t>::max()) + BigInt(1)).to_int64(),
+               std::overflow_error);
+  EXPECT_THROW((void)BigInt::pow2(200).to_int64(), std::overflow_error);
+}
+
+// ---- Randomized property sweeps against __int128 ground truth ----
+
+class BigIntRandomProperty : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(BigIntRandomProperty, ArithmeticMatchesInt128) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_int_distribution<std::int64_t> dist(std::numeric_limits<std::int64_t>::min() / 2,
+                                                   std::numeric_limits<std::int64_t>::max() / 2);
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    const std::int64_t x = dist(rng);
+    const std::int64_t y = dist(rng);
+    const BigInt bx(x);
+    const BigInt by(y);
+    EXPECT_EQ((bx + by).to_string(), i128_to_string(static_cast<i128>(x) + y));
+    EXPECT_EQ((bx - by).to_string(), i128_to_string(static_cast<i128>(x) - y));
+    EXPECT_EQ((bx * by).to_string(), i128_to_string(static_cast<i128>(x) * y));
+    EXPECT_EQ(bx < by, x < y);
+    if (y != 0) {
+      const auto dm = BigInt::divmod(bx, by);
+      EXPECT_EQ(dm.quotient.to_int64(), x / y);
+      EXPECT_EQ(dm.remainder.to_int64(), x % y);
+    }
+  }
+}
+
+TEST_P(BigIntRandomProperty, MultiLimbRingAxioms) {
+  std::mt19937_64 rng(GetParam() * 7919 + 17);
+  const auto random_big = [&rng] {
+    std::uniform_int_distribution<int> limb_count(1, 5);
+    std::uniform_int_distribution<std::uint64_t> limb;
+    BigInt value(0);
+    const int limbs = limb_count(rng);
+    for (int i = 0; i < limbs; ++i) value = (value << 64) + BigInt(limb(rng));
+    if (limb(rng) % 2 == 0) value = -value;
+    return value;
+  };
+  for (int iteration = 0; iteration < 50; ++iteration) {
+    const BigInt a = random_big();
+    const BigInt b = random_big();
+    const BigInt c = random_big();
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a - a, BigInt(0));
+    EXPECT_EQ(a + (-a), BigInt(0));
+    if (!b.is_zero()) {
+      const auto dm = BigInt::divmod(a, b);
+      EXPECT_EQ(dm.quotient * b + dm.remainder, a);
+      EXPECT_LT(dm.remainder.abs(), b.abs());
+      // Remainder sign matches dividend (truncated division).
+      if (!dm.remainder.is_zero()) {
+        EXPECT_EQ(dm.remainder.sign(), a.sign());
+      }
+    }
+    const BigInt g = BigInt::gcd(a, b);
+    if (!a.is_zero() || !b.is_zero()) {
+      EXPECT_GT(g, BigInt(0));
+      if (!a.is_zero()) {
+        EXPECT_TRUE((a % g).is_zero());
+      }
+      if (!b.is_zero()) {
+        EXPECT_TRUE((b % g).is_zero());
+      }
+    }
+    // String round trip.
+    EXPECT_EQ(BigInt::from_string(a.to_string()), a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BigIntRandomProperty, ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace aurv::numeric

@@ -1,0 +1,148 @@
+// Executable counterpart of the impossibility results (Section 4): for any
+// fixed algorithm the adversary builds a boundary instance (S1 or S2) it
+// cannot solve — verified by simulation — while the *same* instance is
+// solved by its dedicated boundary algorithm. "We miss little and cannot
+// avoid it altogether."
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algo/boundary.hpp"
+#include "algo/latecomers.hpp"
+#include "core/adversary.hpp"
+#include "core/almost_universal.hpp"
+#include "core/feasibility.hpp"
+#include "geom/angle.hpp"
+#include "sim/engine.hpp"
+
+namespace aurv::core {
+namespace {
+
+using agents::Instance;
+using geom::Vec2;
+using numeric::Rational;
+
+TEST(Adversary, LargestGapMidpointBasics) {
+  EXPECT_DOUBLE_EQ(largest_gap_midpoint({}, geom::kPi), geom::kPi / 4);
+  // Directions at 0 and pi/2 on a period-pi circle: both gaps are pi/2;
+  // the midpoint of the first found (wrap gap [pi/2..pi..0]) or interior.
+  const double mid = largest_gap_midpoint({0.0, geom::kPi / 2}, geom::kPi);
+  EXPECT_TRUE(std::fabs(mid - geom::kPi / 4) < 1e-9 ||
+              std::fabs(mid - 3 * geom::kPi / 4) < 1e-9);
+  // Clustered directions: the midpoint lands in the big empty arc.
+  const double mid2 = largest_gap_midpoint({0.1, 0.2, 0.3}, geom::kTwoPi);
+  EXPECT_GT(mid2, 0.3);
+  EXPECT_LT(mid2, geom::kTwoPi + 0.1);
+  EXPECT_NEAR(mid2, 0.3 + (geom::kTwoPi - 0.2) / 2.0, 1e-9);
+}
+
+TEST(Adversary, PrefixDirectionsOfAurv) {
+  // The phase-1 prefix of AlmostUniversalRV uses only multiples of pi/2
+  // (PlanarCowWalk(1) in Rot(j*pi/2)) plus Latecomers' pi/2-grid: the
+  // inclination set is tiny and leaves big gaps.
+  const std::vector<double> inclinations = prefix_directions(
+      [] { return almost_universal_rv(); }, Rational(256), /*period_pi=*/true, 1'000'000);
+  EXPECT_FALSE(inclinations.empty());
+  EXPECT_LE(inclinations.size(), 8u);
+  for (const double d : inclinations) {
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, geom::kPi);
+  }
+}
+
+TEST(Adversary, DefeatsAurvOnS2) {
+  // Theorem 4.1's diagonalization, executed: pick phi/2 in an inclination
+  // gap of AURV's prefix; the resulting S2 instance is not solved within
+  // the analyzed horizon and the distance stays strictly above r.
+  const sim::AlgorithmFactory aurv = [] { return almost_universal_rv(); };
+  AdversaryConfig adv_config;
+  adv_config.analysis_horizon = 4096;
+  adv_config.r = 1.0;
+  adv_config.t = 2;
+  const AdversaryReport report = construct_s2_counterexample(aurv, adv_config);
+
+  EXPECT_GT(report.angular_gap, 0.05);  // comfortably away from used inclinations
+  const Classification c = classify(report.instance, /*boundary_eps=*/1e-9);
+  EXPECT_EQ(c.kind, InstanceKind::BoundaryS2);
+
+  sim::EngineConfig config;
+  config.horizon = Rational(4096);
+  config.max_events = 4'000'000;
+  const sim::SimResult result = sim::Engine(report.instance, config).run(aurv);
+  EXPECT_FALSE(result.met);
+  EXPECT_GT(result.min_distance_seen, report.instance.r() + 1e-6);
+
+  // ... while the dedicated Lemma 3.9 algorithm solves the same instance.
+  const sim::SimResult dedicated =
+      sim::Engine(report.instance, {}).run([&report] {
+        return algo::boundary_s2_algorithm(report.instance);
+      });
+  ASSERT_TRUE(dedicated.met);
+  EXPECT_NEAR(dedicated.final_distance, report.instance.r(), 1e-5);
+}
+
+TEST(Adversary, DefeatsAurvOnS1) {
+  const sim::AlgorithmFactory aurv = [] { return almost_universal_rv(); };
+  AdversaryConfig adv_config;
+  adv_config.analysis_horizon = 4096;
+  adv_config.r = 1.0;
+  adv_config.t = 2;
+  const AdversaryReport report = construct_s1_counterexample(aurv, adv_config);
+
+  EXPECT_GT(report.angular_gap, 0.05);
+  const Classification c = classify(report.instance, /*boundary_eps=*/1e-9);
+  EXPECT_EQ(c.kind, InstanceKind::BoundaryS1);
+
+  sim::EngineConfig config;
+  config.horizon = Rational(4096);
+  config.max_events = 4'000'000;
+  const sim::SimResult result = sim::Engine(report.instance, config).run(aurv);
+  EXPECT_FALSE(result.met);
+  EXPECT_GT(result.min_distance_seen, report.instance.r() + 1e-6);
+
+  const sim::SimResult dedicated =
+      sim::Engine(report.instance, {}).run([&report] {
+        return algo::boundary_s1_algorithm(report.instance);
+      });
+  ASSERT_TRUE(dedicated.met);
+  EXPECT_NEAR(dedicated.final_distance, report.instance.r(), 1e-5);
+}
+
+TEST(Adversary, DefeatsLatecomersOnS1Too) {
+  // The diagonalization applies to *any* fixed algorithm, not just AURV.
+  const sim::AlgorithmFactory lc = [] { return algo::latecomers(); };
+  AdversaryConfig adv_config;
+  adv_config.analysis_horizon = 1024;  // phases 1-3 of Latecomers
+  const AdversaryReport report = construct_s1_counterexample(lc, adv_config);
+  EXPECT_GT(report.directions_used, 8u);  // denser direction grid than AURV's
+  EXPECT_GT(report.angular_gap, 0.0);
+
+  sim::EngineConfig config;
+  config.horizon = Rational(1024);
+  config.max_events = 2'000'000;
+  const sim::SimResult result = sim::Engine(report.instance, config).run(lc);
+  EXPECT_FALSE(result.met);
+  EXPECT_GT(result.min_distance_seen, report.instance.r());
+}
+
+TEST(Adversary, BoundaryInstanceBecomesSolvableWithAnyExtraDelay) {
+  // The knife-edge nature of S2: the same geometry with t increased by any
+  // eps > 0 is covered by AlmostUniversalRV (type 1).
+  const sim::AlgorithmFactory aurv = [] { return almost_universal_rv(); };
+  AdversaryConfig adv_config;
+  adv_config.analysis_horizon = 1024;
+  adv_config.t = 1;
+  adv_config.lateral_offset = 0.8;
+  const AdversaryReport report = construct_s2_counterexample(aurv, adv_config);
+  const Instance nudged =
+      report.instance.with_delay(report.instance.t() + Rational(numeric::BigInt(1), numeric::BigInt(2)));
+  ASSERT_EQ(classify(nudged).kind, InstanceKind::Type1);
+  sim::EngineConfig config;
+  config.max_events = 30'000'000;
+  const sim::SimResult result = sim::Engine(nudged, config).run(aurv);
+  EXPECT_TRUE(result.met) << sim::to_string(result.reason)
+                          << " min dist " << result.min_distance_seen;
+}
+
+}  // namespace
+}  // namespace aurv::core

@@ -1,0 +1,179 @@
+// Wide property sweeps of Theorem 3.2, run in parallel across cores: grids
+// of instances per type, all of which AlmostUniversalRV must solve, plus
+// the matching negative sweeps (infeasible grids where the analytic
+// closest-approach lower bound must hold).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/almost_universal.hpp"
+#include "core/feasibility.hpp"
+#include "geom/angle.hpp"
+#include "sim/batch.hpp"
+
+namespace aurv::core {
+namespace {
+
+using agents::Instance;
+using geom::Vec2;
+using numeric::Rational;
+
+sim::EngineConfig sweep_config(std::uint64_t fuel = 8'000'000) {
+  sim::EngineConfig config;
+  config.max_events = fuel;
+  return config;
+}
+
+void expect_all_meet(const std::vector<Instance>& instances, InstanceKind expected_kind,
+                     std::uint64_t fuel = 8'000'000) {
+  for (const Instance& instance : instances) {
+    ASSERT_EQ(classify(instance).kind, expected_kind) << instance.to_string();
+  }
+  const std::vector<sim::SimResult> results = sim::run_sweep(
+      instances, [] { return almost_universal_rv(); }, sweep_config(fuel));
+  for (std::size_t k = 0; k < instances.size(); ++k) {
+    EXPECT_TRUE(results[k].met)
+        << instances[k].to_string() << " -> " << sim::to_string(results[k].reason)
+        << " min dist " << results[k].min_distance_seen;
+    if (results[k].met) {
+      EXPECT_LE(results[k].final_distance, instances[k].r() + 1e-6);
+    }
+  }
+}
+
+TEST(RendezvousSweep, Type1Grid) {
+  std::vector<Instance> instances;
+  for (const double phi : {0.0, geom::kPi / 2, 1.1}) {
+    for (const double dist_proj : {1.5, 2.5}) {
+      for (const double lateral : {0.3, 0.9}) {
+        for (const double margin : {0.5, 2.0}) {
+          const Vec2 along = geom::unit_vector(phi / 2.0);
+          const Vec2 b = dist_proj * along + lateral * along.perp();
+          instances.push_back(Instance(
+              1.0, b, phi, 1, 1, Rational::from_double(dist_proj - 1.0 + margin), -1));
+        }
+      }
+    }
+  }
+  ASSERT_EQ(instances.size(), 24u);
+  expect_all_meet(instances, InstanceKind::Type1);
+}
+
+TEST(RendezvousSweep, Type2Grid) {
+  std::vector<Instance> instances;
+  for (const double direction : {0.0, geom::kPi / 4, 2.1, 4.0}) {
+    for (const double dist : {1.3, 2.0, 3.0}) {
+      for (const double margin : {0.3, 1.5}) {
+        const Vec2 b = dist * geom::unit_vector(direction);
+        instances.push_back(Instance::synchronous(
+            1.0, b, 0.0, Rational::from_double(dist - 1.0 + margin), 1));
+      }
+    }
+  }
+  ASSERT_EQ(instances.size(), 24u);
+  expect_all_meet(instances, InstanceKind::Type2, 20'000'000);
+}
+
+TEST(RendezvousSweep, Type3Grid) {
+  std::vector<Instance> instances;
+  for (const char* tau : {"1/3", "2/3", "4/3", "3"}) {
+    for (const int chi : {1, -1}) {
+      for (const int delay : {0, 1}) {
+        for (const double phi : {0.0, 0.8}) {
+          instances.push_back(Instance(1.0, {2.0, 0.5}, phi, Rational::from_string(tau), 1,
+                                       delay, chi));
+        }
+      }
+    }
+  }
+  ASSERT_EQ(instances.size(), 32u);
+  expect_all_meet(instances, InstanceKind::Type3);
+}
+
+TEST(RendezvousSweep, Type4Grid) {
+  std::vector<Instance> instances;
+  // Speed asymmetry with varied frames (all tau = 1, t = 0 or small).
+  for (const char* v : {"1/2", "2", "3"}) {
+    for (const int chi : {1, -1}) {
+      for (const double phi : {0.0, 1.0}) {
+        instances.push_back(Instance(0.8, {1.4, 0.4}, phi, 1, Rational::from_string(v),
+                                     0, chi));
+      }
+    }
+  }
+  // Pure-rotation synchronous instances (clause 2a).
+  for (const double phi : {0.4, geom::kPi / 2, 2.8, 5.2}) {
+    instances.push_back(Instance::synchronous(0.8, {1.6, 0.2}, phi, 0, 1));
+  }
+  ASSERT_EQ(instances.size(), 16u);
+  expect_all_meet(instances, InstanceKind::Type4, 20'000'000);
+}
+
+TEST(RendezvousSweep, InfeasibleGridRespectsLowerBounds) {
+  std::vector<Instance> instances;
+  std::vector<double> bounds;
+  for (const double dist : {3.0, 5.0}) {
+    for (const double t : {0.0, 1.0}) {
+      if (t >= dist - 1.0) continue;
+      // chi = +1 shift: bound dist - t.
+      instances.push_back(
+          Instance::synchronous(1.0, {dist, 0.0}, 0.0, Rational::from_double(t), 1));
+      bounds.push_back(dist - t);
+      // chi = -1: bound dist_proj - t (b placed on the line direction).
+      instances.push_back(
+          Instance::synchronous(1.0, {dist, 0.8}, 0.0, Rational::from_double(t), -1));
+      bounds.push_back(dist - t);
+    }
+  }
+  const std::vector<sim::SimResult> results = sim::run_sweep(
+      instances, [] { return almost_universal_rv(); }, sweep_config(600'000));
+  for (std::size_t k = 0; k < instances.size(); ++k) {
+    ASSERT_EQ(classify(instances[k]).kind, InstanceKind::Infeasible)
+        << instances[k].to_string();
+    EXPECT_FALSE(results[k].met) << instances[k].to_string();
+    EXPECT_GE(results[k].min_distance_seen, bounds[k] - 1e-6) << instances[k].to_string();
+  }
+}
+
+TEST(RendezvousSweep, MirrorMetamorphic) {
+  // Metamorphic property: describing the same physical configuration from
+  // B's perspective (t = 0 instances) must produce the same rendezvous
+  // outcome — meet or not — and the same meet distance up to the rescaled
+  // units. Exercises the whole stack: frames, engine, algorithm.
+  std::vector<Instance> originals;
+  for (const char* v : {"1/2", "2"}) {
+    for (const double phi : {0.7, geom::kPi / 2}) {
+      for (const int chi : {1, -1}) {
+        originals.push_back(Instance(0.8, {1.4, 0.4}, phi, 1, Rational::from_string(v),
+                                     0, chi));
+      }
+    }
+  }
+  std::vector<Instance> mirrored;
+  mirrored.reserve(originals.size());
+  for (const Instance& instance : originals) mirrored.push_back(instance.mirrored());
+
+  const auto run_all = [](const std::vector<Instance>& instances) {
+    return sim::run_sweep(instances, [] { return almost_universal_rv(); },
+                          sweep_config(8'000'000));
+  };
+  const std::vector<sim::SimResult> original_results = run_all(originals);
+  const std::vector<sim::SimResult> mirrored_results = run_all(mirrored);
+  for (std::size_t k = 0; k < originals.size(); ++k) {
+    ASSERT_TRUE(original_results[k].met) << originals[k].to_string();
+    ASSERT_TRUE(mirrored_results[k].met) << mirrored[k].to_string();
+    // Distances in the mirrored description are in B's length unit.
+    const double unit = originals[k].b_length_unit_d();
+    EXPECT_NEAR(mirrored_results[k].final_distance * unit,
+                original_results[k].final_distance, 1e-5)
+        << originals[k].to_string();
+    // Meet times in the mirrored description are in B's time unit (tau = 1
+    // here, so they agree directly).
+    EXPECT_NEAR(mirrored_results[k].meet_time, original_results[k].meet_time, 1e-5)
+        << originals[k].to_string();
+  }
+}
+
+}  // namespace
+}  // namespace aurv::core

@@ -1,0 +1,285 @@
+// End-to-end validation of Theorem 3.2: Algorithm AlmostUniversalRV (and the
+// standalone procedures it is built from) achieve rendezvous for instances
+// of each of the four types, and fail exactly where Theorem 3.1 says no
+// algorithm can succeed.
+//
+// Note on budgets: the paper's phase bounds are astronomically conservative
+// (e.g. phase ~ log of the full Latecomers rendezvous time); the observed
+// meets land in phases 1-5, which is what the event-fuel budgets here are
+// sized for. EXPERIMENTS.md discusses the bound-vs-observed gap.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algo/cgkk.hpp"
+#include "algo/latecomers.hpp"
+#include "algo/wait_and_search.hpp"
+#include "core/almost_universal.hpp"
+#include "core/feasibility.hpp"
+#include "geom/angle.hpp"
+#include "sim/engine.hpp"
+
+namespace aurv::core {
+namespace {
+
+using agents::Instance;
+using geom::Vec2;
+using numeric::Rational;
+
+sim::SimResult run_aurv(const Instance& instance, std::uint64_t fuel = 8'000'000) {
+  sim::EngineConfig config;
+  config.max_events = fuel;
+  return sim::Engine(instance, config).run([] { return almost_universal_rv(); });
+}
+
+std::uint32_t meet_phase(const sim::SimResult& result) {
+  // Agent A's local clock is the absolute clock; the phase in progress at
+  // the meet time is the phase the rendezvous landed in.
+  return aurv_phase_at(result.meet_window_start);
+}
+
+// ---------------- Type 1: synchronous, chi = -1 ----------------
+
+TEST(RendezvousType1, AxisAlignedCanonicalLine) {
+  // phi = 0: canonical line horizontal; dist_proj = 2, t = 1.5 > 2 - 1.
+  const Instance instance = Instance::synchronous(
+      1.0, Vec2{2.0, 0.6}, 0.0, Rational(numeric::BigInt(3), numeric::BigInt(2)), -1);
+  ASSERT_EQ(classify(instance).kind, InstanceKind::Type1);
+  const sim::SimResult result = run_aurv(instance);
+  ASSERT_TRUE(result.met) << sim::to_string(result.reason)
+                          << " min dist " << result.min_distance_seen;
+  EXPECT_LE(result.final_distance, instance.r() + 1e-6);
+  EXPECT_LE(meet_phase(result), 6u);
+}
+
+TEST(RendezvousType1, RotatedCanonicalLine) {
+  // phi = pi/2: canonical line at inclination pi/4 — hit exactly by the
+  // Rot(j*pi/4) epochs of phase 2.
+  const double phi = geom::kPi / 2;
+  const Vec2 along = geom::unit_vector(phi / 2.0);
+  const Vec2 b = 2.0 * along + 0.5 * along.perp();
+  const Instance instance = Instance::synchronous(
+      1.0, b, phi, Rational(numeric::BigInt(3), numeric::BigInt(2)), -1);
+  ASSERT_EQ(classify(instance).kind, InstanceKind::Type1);
+  const sim::SimResult result = run_aurv(instance);
+  ASSERT_TRUE(result.met) << sim::to_string(result.reason);
+  EXPECT_LE(result.final_distance, instance.r() + 1e-6);
+}
+
+TEST(RendezvousType1, LargeDelayStillMeets) {
+  // t far above the boundary: plenty of margin (e = 3.5).
+  const Instance instance =
+      Instance::synchronous(1.0, Vec2{2.0, 0.4}, 0.0, 4, -1);
+  ASSERT_EQ(classify(instance).kind, InstanceKind::Type1);
+  const sim::SimResult result = run_aurv(instance);
+  ASSERT_TRUE(result.met) << sim::to_string(result.reason);
+}
+
+// ---------------- Type 2: synchronous shift (chi=+1, phi=0) ----------------
+
+TEST(RendezvousType2, OffsetAlongAxis) {
+  // d = 1.5, r = 1, t = 1 > 0.5 = d - r.
+  const Instance instance = Instance::synchronous(1.0, Vec2{1.5, 0.0}, 0.0, 1, 1);
+  ASSERT_EQ(classify(instance).kind, InstanceKind::Type2);
+  const sim::SimResult result = run_aurv(instance);
+  ASSERT_TRUE(result.met) << sim::to_string(result.reason)
+                          << " min dist " << result.min_distance_seen;
+  EXPECT_LE(result.final_distance, instance.r() + 1e-6);
+}
+
+TEST(RendezvousType2, GenericOffsetDirection) {
+  const Instance instance = Instance::synchronous(1.0, Vec2{1.2, 0.9}, 0.0, 1, 1);
+  ASSERT_EQ(classify(instance).kind, InstanceKind::Type2);
+  const sim::SimResult result = run_aurv(instance, 30'000'000);
+  ASSERT_TRUE(result.met) << sim::to_string(result.reason)
+                          << " min dist " << result.min_distance_seen;
+}
+
+TEST(RendezvousType2, StandaloneLatecomersContract) {
+  // Our Latecomers substitution must solve type-2 instances by itself
+  // (the [38] contract the paper imports).
+  const Instance instance = Instance::synchronous(1.0, Vec2{1.2, 0.9}, 0.0, 1, 1);
+  sim::EngineConfig config;
+  config.max_events = 4'000'000;
+  const sim::SimResult result =
+      sim::Engine(instance, config).run([] { return algo::latecomers(); });
+  ASSERT_TRUE(result.met) << " min dist " << result.min_distance_seen;
+  EXPECT_LE(result.final_distance, instance.r() + 1e-6);
+}
+
+TEST(RendezvousType2, LatecomersSweepAcrossDelays) {
+  // t from just above the boundary to far above it.
+  for (const double t : {0.6, 1.0, 2.0, 4.0}) {
+    const Instance instance =
+        Instance::synchronous(1.0, Vec2{1.5, 0.0}, 0.0, Rational::from_double(t), 1);
+    ASSERT_EQ(classify(instance).kind, InstanceKind::Type2) << t;
+    sim::EngineConfig config;
+    config.max_events = 4'000'000;
+    const sim::SimResult result =
+        sim::Engine(instance, config).run([] { return algo::latecomers(); });
+    EXPECT_TRUE(result.met) << "t=" << t << " min dist " << result.min_distance_seen;
+  }
+}
+
+// ---------------- Type 3: different clock rates ----------------
+
+TEST(RendezvousType3, SlowerAgentB) {
+  // tau = 2: B's clock ticks at half rate. Rendezvous through the phase-3
+  // block 3 (wait 2^135 — exactly why the timeline is exact rational).
+  const Instance instance(1.0, Vec2{2.0, 0.5}, 0.3, /*tau=*/2, /*v=*/1,
+                          /*t=*/Rational(numeric::BigInt(3), numeric::BigInt(4)), 1);
+  ASSERT_EQ(classify(instance).kind, InstanceKind::Type3);
+  const sim::SimResult result = run_aurv(instance);
+  ASSERT_TRUE(result.met) << sim::to_string(result.reason);
+  EXPECT_LE(result.final_distance, instance.r() + 1e-6);
+}
+
+TEST(RendezvousType3, FasterAgentB) {
+  const Instance instance(1.0, Vec2{2.0, 0.5}, 0.0,
+                          /*tau=*/Rational(numeric::BigInt(1), numeric::BigInt(2)),
+                          /*v=*/1, /*t=*/0, -1);
+  ASSERT_EQ(classify(instance).kind, InstanceKind::Type3);
+  const sim::SimResult result = run_aurv(instance);
+  ASSERT_TRUE(result.met) << sim::to_string(result.reason);
+}
+
+TEST(RendezvousType3, StandaloneWaitAndSearch) {
+  const Instance instance(1.0, Vec2{2.0, 0.5}, 0.3, /*tau=*/2, /*v=*/1, /*t=*/0, 1);
+  sim::EngineConfig config;
+  config.max_events = 2'000'000;
+  const sim::SimResult result =
+      sim::Engine(instance, config).run([] { return algo::wait_and_search(); });
+  ASSERT_TRUE(result.met) << " min dist " << result.min_distance_seen;
+}
+
+TEST(RendezvousType3, ClockRatioSweep) {
+  for (const char* tau_text : {"3/2", "2", "3", "2/3", "1/3"}) {
+    const Instance instance(1.0, Vec2{1.5, 0.25}, 0.0,
+                            Rational::from_string(tau_text), 1, 0, 1);
+    ASSERT_EQ(classify(instance).kind, InstanceKind::Type3) << tau_text;
+    const sim::SimResult result = run_aurv(instance);
+    EXPECT_TRUE(result.met) << "tau=" << tau_text << " "
+                            << sim::to_string(result.reason);
+  }
+}
+
+// ---------------- Type 4: rotation / speed symmetry breaking ----------------
+
+TEST(RendezvousType4, SynchronousRotated) {
+  // Synchronous, chi=+1, phi=pi/2, simultaneous start: lock-step fixed
+  // point at (I - R(phi))^{-1} b.
+  const Instance instance =
+      Instance::synchronous(0.8, Vec2{2.0, 0.0}, geom::kPi / 2, 0, 1);
+  ASSERT_EQ(classify(instance).kind, InstanceKind::Type4);
+  const sim::SimResult result = run_aurv(instance);
+  ASSERT_TRUE(result.met) << sim::to_string(result.reason);
+  EXPECT_LE(meet_phase(result), 4u);
+}
+
+TEST(RendezvousType4, SpeedDifference) {
+  // tau = 1, v = 2 (non-synchronous but equal clocks): type 4.
+  const Instance instance(0.8, Vec2{1.5, 0.0}, 0.0, 1, /*v=*/2, 0, 1);
+  ASSERT_EQ(classify(instance).kind, InstanceKind::Type4);
+  const sim::SimResult result = run_aurv(instance);
+  ASSERT_TRUE(result.met) << sim::to_string(result.reason);
+}
+
+TEST(RendezvousType4, SpeedAndMirrorChirality) {
+  const Instance instance(0.8, Vec2{1.0, 0.5}, 0.7, 1, /*v=*/2, 0, -1);
+  ASSERT_EQ(classify(instance).kind, InstanceKind::Type4);
+  const sim::SimResult result = run_aurv(instance);
+  ASSERT_TRUE(result.met) << sim::to_string(result.reason);
+}
+
+TEST(RendezvousType4, NonzeroDelay) {
+  // The genuinely new regime the paper adds over [18]: different dynamics
+  // *and* different wake-up times.
+  const Instance instance(0.75, Vec2{1.2, 0.0}, 0.0, 1, /*v=*/2,
+                          /*t=*/Rational(numeric::BigInt(1), numeric::BigInt(2)), 1);
+  ASSERT_EQ(classify(instance).kind, InstanceKind::Type4);
+  const sim::SimResult result = run_aurv(instance, 30'000'000);
+  ASSERT_TRUE(result.met) << sim::to_string(result.reason)
+                          << " min dist " << result.min_distance_seen;
+}
+
+TEST(RendezvousType4, StandaloneCgkkContract) {
+  // Our CGKK substitution must solve t=0 instances with invertible I-M by
+  // itself (the [18] contract restricted to tau=1).
+  const Instance rotated = Instance::synchronous(0.8, Vec2{2.0, 0.0}, geom::kPi / 2, 0, 1);
+  const Instance scaled(0.8, Vec2{1.5, 0.0}, 0.0, 1, 2, 0, 1);
+  const Instance mirrored_scaled(0.8, Vec2{1.0, 0.5}, 0.7, 1, 2, 0, -1);
+  for (const Instance& instance : {rotated, scaled, mirrored_scaled}) {
+    sim::EngineConfig config;
+    config.max_events = 2'000'000;
+    const sim::SimResult result =
+        sim::Engine(instance, config).run([] { return algo::cgkk(); });
+    EXPECT_TRUE(result.met) << instance.to_string()
+                            << " min dist " << result.min_distance_seen;
+  }
+}
+
+TEST(RendezvousType4, LockStepGapTracksFixedPoint) {
+  // White-box check of the CGKK analysis: with t=0, tau=1, the gap equals
+  // (I-M)A(s) - b at every trace point.
+  const Instance instance = Instance::synchronous(0.8, Vec2{2.0, 0.0}, geom::kPi / 2, 0, 1);
+  sim::EngineConfig config;
+  config.max_events = 100'000;
+  config.trace_capacity = 4096;
+  const sim::SimResult result =
+      sim::Engine(instance, config).run([] { return algo::cgkk(); });
+  const geom::Similarity pose = instance.b_pose();
+  for (const sim::TracePoint& point : result.trace.points()) {
+    const Vec2 predicted_b = pose.apply(point.a);  // B replays A's local path
+    EXPECT_NEAR(geom::dist(point.b, predicted_b), 0.0, 1e-6);
+  }
+}
+
+// ---------------- Trivial and infeasible boundaries ----------------
+
+TEST(RendezvousTrivial, OverlapMeetsAtTimeZero) {
+  const Instance instance = Instance::synchronous(2.0, Vec2{1.0, 0.0}, 0.0, 0, 1);
+  const sim::SimResult result = run_aurv(instance, 1000);
+  ASSERT_TRUE(result.met);
+  EXPECT_DOUBLE_EQ(result.meet_time, 0.0);
+}
+
+TEST(RendezvousInfeasible, SymmetricShiftNeverCloses) {
+  // chi=+1, phi=0, synchronous, t < d - r: the gap satisfies
+  // |gap(s)| >= d - t at all times, whatever the common program does.
+  const Instance instance = Instance::synchronous(1.0, Vec2{4.0, 0.0}, 0.0, 1, 1);
+  ASSERT_EQ(classify(instance).kind, InstanceKind::Infeasible);
+  const sim::SimResult result = run_aurv(instance, 2'000'000);
+  EXPECT_FALSE(result.met);
+  EXPECT_GE(result.min_distance_seen, instance.initial_distance() - instance.t_d() - 1e-6);
+}
+
+TEST(RendezvousInfeasible, MirroredProjectionBoundHolds) {
+  // chi=-1, t < dist_proj - r: projections can close by at most t.
+  const Instance instance = Instance::synchronous(1.0, Vec2{5.0, 0.8}, 0.0, 2, -1);
+  ASSERT_EQ(classify(instance).kind, InstanceKind::Infeasible);
+  const sim::SimResult result = run_aurv(instance, 2'000'000);
+  EXPECT_FALSE(result.met);
+  EXPECT_GE(result.min_distance_seen,
+            instance.projection_distance() - instance.t_d() - 1e-6);
+}
+
+// ---------------- Section 5: distinct visibility radii ----------------
+
+TEST(RendezvousDistinctRadii, FarSightedFreezesThenOtherCloses) {
+  // Type-1 instance, r_a = 1.5 > r_b = 0.75. A freezes on first sighting;
+  // B's continuing searches close the remaining gap.
+  const Instance instance = Instance::synchronous(
+      0.75, Vec2{2.0, 0.6}, 0.0, Rational(numeric::BigInt(3), numeric::BigInt(2)), -1);
+  sim::EngineConfig config;
+  config.max_events = 30'000'000;
+  config.r_a = 1.5;
+  config.r_b = 0.75;
+  const sim::SimResult result =
+      sim::Engine(instance, config).run([] { return almost_universal_rv(); });
+  ASSERT_TRUE(result.met) << sim::to_string(result.reason)
+                          << " min dist " << result.min_distance_seen;
+  EXPECT_LE(result.final_distance, 0.75 + 1e-6);
+}
+
+}  // namespace
+}  // namespace aurv::core

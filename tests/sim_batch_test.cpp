@@ -1,0 +1,83 @@
+// Tests for the parallel sweep runner: order determinism, serial/parallel
+// equivalence, exception propagation.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/almost_universal.hpp"
+#include "program/combinators.hpp"
+#include "sim/batch.hpp"
+
+namespace aurv::sim {
+namespace {
+
+using agents::Instance;
+using geom::Vec2;
+
+std::vector<Instance> sweep_instances() {
+  std::vector<Instance> instances;
+  for (int k = 1; k <= 12; ++k) {
+    instances.push_back(
+        Instance::synchronous(1.0, Vec2{1.0 + 0.1 * k, 0.2 * k}, 0.0, k, 1));
+  }
+  return instances;
+}
+
+TEST(Batch, ResultsInJobOrderAndMatchSerial) {
+  const std::vector<Instance> instances = sweep_instances();
+  EngineConfig config;
+  config.max_events = 500'000;
+  const AlgorithmFactory aurv = [] { return core::almost_universal_rv(); };
+
+  const std::vector<SimResult> parallel = run_sweep(instances, aurv, config, /*threads=*/8);
+  const std::vector<SimResult> serial = run_sweep(instances, aurv, config, /*threads=*/1);
+  ASSERT_EQ(parallel.size(), instances.size());
+  ASSERT_EQ(serial.size(), instances.size());
+  for (std::size_t k = 0; k < instances.size(); ++k) {
+    // Simulation is deterministic: parallel and serial agree bit-for-bit.
+    EXPECT_EQ(parallel[k].met, serial[k].met) << k;
+    EXPECT_EQ(parallel[k].reason, serial[k].reason) << k;
+    EXPECT_EQ(parallel[k].meet_time, serial[k].meet_time) << k;
+    EXPECT_EQ(parallel[k].events, serial[k].events) << k;
+    EXPECT_EQ(parallel[k].a_position, serial[k].a_position) << k;
+  }
+}
+
+TEST(Batch, EmptyAndSingle) {
+  EXPECT_TRUE(run_batch({}).empty());
+  const Instance instance = Instance::synchronous(2.0, Vec2{1.0, 0.0}, 0.0, 0, 1);
+  const std::vector<SimResult> results =
+      run_sweep({instance}, [] { return program::replay({}); });
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].met);  // trivial overlap
+}
+
+TEST(Batch, HeterogeneousJobs) {
+  std::vector<BatchJob> jobs;
+  EngineConfig tight;
+  tight.max_events = 10;
+  jobs.push_back(BatchJob{Instance::synchronous(2.0, Vec2{1.0, 0.0}, 0.0, 0, 1),
+                          [] { return program::replay({}); },
+                          {}});
+  jobs.push_back(BatchJob{Instance::synchronous(1.0, Vec2{50.0, 0.0}, 0.0, 0, 1),
+                          [] { return core::almost_universal_rv(); }, tight});
+  const std::vector<SimResult> results = run_batch(std::move(jobs), 4);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].met);
+  EXPECT_EQ(results[1].reason, StopReason::FuelExhausted);
+}
+
+TEST(Batch, ExceptionPropagates) {
+  std::vector<BatchJob> jobs;
+  for (int k = 0; k < 8; ++k) {
+    jobs.push_back(BatchJob{Instance::synchronous(1.0, Vec2{5.0, 0.0}, 0.0, 0, 1),
+                            []() -> program::Program {
+                              throw std::runtime_error("factory failure");
+                            },
+                            {}});
+  }
+  EXPECT_THROW((void)run_batch(std::move(jobs), 4), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace aurv::sim

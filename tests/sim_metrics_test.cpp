@@ -1,0 +1,81 @@
+// Tests for the trace-analytics module.
+#include <gtest/gtest.h>
+
+#include "program/combinators.hpp"
+#include "sim/engine.hpp"
+#include "sim/metrics.hpp"
+
+namespace aurv::sim {
+namespace {
+
+using agents::Instance;
+using geom::Vec2;
+using program::go_east;
+using program::go_west;
+using program::replay;
+using program::wait;
+
+SimResult traced_run(const Instance& instance, program::Program a, program::Program b) {
+  EngineConfig config;
+  config.trace_capacity = 4096;
+  return Engine(instance, config).run(std::move(a), std::move(b));
+}
+
+TEST(Metrics, DistanceSeriesMatchesTrace) {
+  const Instance instance = Instance::synchronous(1.0, Vec2{10.0, 0.0}, 0.0, 0, 1);
+  const SimResult result =
+      traced_run(instance, replay({go_east(2), go_west(2)}), replay({wait(5)}));
+  const std::vector<DistanceSample> series = distance_series(result.trace);
+  ASSERT_EQ(series.size(), result.trace.points().size());
+  for (std::size_t k = 0; k < series.size(); ++k) {
+    EXPECT_EQ(series[k].time, result.trace.points()[k].time);
+    EXPECT_EQ(series[k].distance, result.trace.points()[k].distance);
+  }
+  // The shuttle closes to 8 and returns to 10: extrema reflect that.
+  const SeriesExtrema extrema = distance_extrema(result.trace);
+  EXPECT_NEAR(extrema.min_value, 8.0, 1e-9);
+  EXPECT_NEAR(extrema.max_value, 10.0, 1e-9);
+  EXPECT_NEAR(extrema.min_time, 2.0, 1e-9);
+}
+
+TEST(Metrics, ProjectionGapTracksCanonicalLine) {
+  // chi = -1, phi = 0: canonical line horizontal. A moving east shrinks the
+  // signed gap coordinate(A) - coordinate(B) from -4 toward 0.
+  const Instance instance = Instance::synchronous(0.5, Vec2{4.0, 1.0}, 0.0, 0, -1);
+  const SimResult result =
+      traced_run(instance, replay({go_east(3)}), replay({wait(10)}));
+  const std::vector<ProjectionSample> series = projection_gap_series(instance, result.trace);
+  ASSERT_GE(series.size(), 2u);
+  EXPECT_NEAR(series.front().signed_gap, -4.0, 1e-9);
+  EXPECT_NEAR(series.back().signed_gap, -1.0, 1e-9);
+  for (std::size_t k = 1; k < series.size(); ++k) {
+    EXPECT_GE(series[k].signed_gap, series[k - 1].signed_gap - 1e-12);  // monotone toward 0
+  }
+}
+
+TEST(Metrics, Figure4CaseDetection) {
+  const Instance instance = Instance::synchronous(0.5, Vec2{4.0, 1.0}, 0.0, 0, -1);
+  // Crossing: A walks past B's projection.
+  const SimResult crossing =
+      traced_run(instance, replay({go_east(6)}), replay({wait(10)}));
+  EXPECT_EQ(classify_figure4_case(instance, crossing.trace), Figure4Case::Crossing);
+  // Monotone shrink: A stops short of it.
+  const SimResult shrink = traced_run(instance, replay({go_east(3)}), replay({wait(10)}));
+  EXPECT_EQ(classify_figure4_case(instance, shrink.trace), Figure4Case::MonotoneShrink);
+  // Too-short traces are reported as unclassifiable.
+  Trace empty;
+  EXPECT_FALSE(classify_figure4_case(instance, empty).has_value());
+}
+
+TEST(Metrics, EmptyTraceYieldsEmptySeries) {
+  const Instance instance = Instance::synchronous(1.0, Vec2{5.0, 0.0}, 0.0, 0, 1);
+  Trace off;  // capacity 0: recording disabled
+  EXPECT_TRUE(distance_series(off).empty());
+  EXPECT_TRUE(projection_gap_series(instance, off).empty());
+  const SeriesExtrema extrema = distance_extrema(off);
+  EXPECT_EQ(extrema.min_value, 0.0);
+  EXPECT_EQ(extrema.max_value, 0.0);
+}
+
+}  // namespace
+}  // namespace aurv::sim

@@ -1,0 +1,112 @@
+// Tests for the coroutine generator the mobility programs are built on.
+#include "support/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace aurv::support {
+namespace {
+
+generator<int> count_up_to(int n) {
+  for (int i = 0; i < n; ++i) co_yield i;
+}
+
+generator<int> infinite_squares() {
+  for (long long i = 0;; ++i) {
+    const int value = static_cast<int>(i * i % 1000003);
+    co_yield value;
+  }
+}
+
+generator<int> throws_after(int n) {
+  for (int i = 0; i < n; ++i) co_yield i;
+  throw std::runtime_error("stream failure");
+}
+
+TEST(Generator, YieldsInOrderThenEnds) {
+  auto gen = count_up_to(3);
+  ASSERT_TRUE(gen.next());
+  EXPECT_EQ(gen.value(), 0);
+  ASSERT_TRUE(gen.next());
+  EXPECT_EQ(gen.value(), 1);
+  ASSERT_TRUE(gen.next());
+  EXPECT_EQ(gen.value(), 2);
+  EXPECT_FALSE(gen.next());
+  EXPECT_FALSE(gen.next());  // stays exhausted
+}
+
+TEST(Generator, EmptyStream) {
+  auto gen = count_up_to(0);
+  EXPECT_FALSE(gen.next());
+}
+
+TEST(Generator, RangeForInterface) {
+  std::vector<int> collected;
+  for (const int v : count_up_to(5)) collected.push_back(v);
+  EXPECT_EQ(collected, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Generator, InfiniteStreamIsLazy) {
+  auto gen = infinite_squares();
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(gen.next());
+  }
+  EXPECT_EQ(gen.value(), static_cast<int>(9999LL * 9999 % 1000003));
+}
+
+TEST(Generator, MoveTransfersOwnership) {
+  auto gen = count_up_to(3);
+  ASSERT_TRUE(gen.next());
+  auto moved = std::move(gen);
+  EXPECT_FALSE(gen.valid());  // NOLINT(bugprone-use-after-move) — tested on purpose
+  EXPECT_EQ(moved.value(), 0);
+  ASSERT_TRUE(moved.next());
+  EXPECT_EQ(moved.value(), 1);
+}
+
+TEST(Generator, ExceptionsPropagateFromNext) {
+  auto gen = throws_after(2);
+  ASSERT_TRUE(gen.next());
+  ASSERT_TRUE(gen.next());
+  EXPECT_THROW(gen.next(), std::runtime_error);
+}
+
+TEST(Generator, HeavyPayloadByReference) {
+  // value() must reference the yielded object without copying per access.
+  struct Heavy {
+    std::string blob;
+  };
+  auto gen = []() -> generator<Heavy> {
+    Heavy h{std::string(1 << 16, 'x')};
+    co_yield h;
+  }();
+  ASSERT_TRUE(gen.next());
+  const Heavy& ref1 = gen.value();
+  const Heavy& ref2 = gen.value();
+  EXPECT_EQ(&ref1, &ref2);
+  EXPECT_EQ(ref1.blob.size(), std::size_t{1} << 16);
+}
+
+TEST(Generator, DestructionMidStreamReleasesFrame) {
+  // Destroying a suspended coroutine must run destructors of locals.
+  auto flag = std::make_shared<int>(0);
+  {
+    auto gen = [](std::shared_ptr<int> p) -> generator<int> {
+      const int one = 1;
+      const int two = 2;
+      co_yield one;
+      co_yield two;
+      (void)p;
+    }(flag);
+    ASSERT_TRUE(gen.next());
+    EXPECT_EQ(flag.use_count(), 2);
+  }
+  EXPECT_EQ(flag.use_count(), 1);  // frame destroyed, shared_ptr released
+}
+
+}  // namespace
+}  // namespace aurv::support
