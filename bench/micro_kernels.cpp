@@ -1,7 +1,15 @@
 // KERN — google-benchmark micro-kernels for the library's hot paths: exact
 // rational time arithmetic, the closest-approach solver, instruction-stream
 // generation, and end-to-end simulator event throughput.
+//
+// Run with --json[=path] to additionally write a flat { name -> ns/op }
+// baseline file (default BENCH_micro.json); see bench/bench_json.hpp.
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+
+#include "bench_json.hpp"
 
 #include "algo/cow_walk.hpp"
 #include "core/almost_universal.hpp"
@@ -129,6 +137,29 @@ void BM_BatchSweepScaling(benchmark::State& state) {
 }
 BENCHMARK(BM_BatchSweepScaling)->Arg(1)->Arg(4)->Arg(16);
 
+void BM_BatchSweepThousand(benchmark::State& state) {
+  // The acceptance workload for numeric-stack optimizations: a sweep of
+  // 1000 independent AlmostUniversalRV instances, auto-threaded. Dominated
+  // by exact rational event arithmetic.
+  std::vector<aurv::agents::Instance> instances;
+  instances.reserve(1000);
+  for (int k = 0; k < 1000; ++k) {
+    instances.push_back(aurv::agents::Instance::synchronous(
+        0.25, {300.0 + 0.25 * k, 0.0}, 0.0, 0, 1));
+  }
+  aurv::sim::EngineConfig config;
+  config.max_events = 500;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const auto results = aurv::sim::run_sweep(
+        instances, [] { return aurv::core::almost_universal_rv(); }, config, 0);
+    for (const auto& result : results) events += result.events;
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_BatchSweepThousand)->Unit(benchmark::kMillisecond);
+
 void BM_EngineEventThroughput(benchmark::State& state) {
   // A never-meeting symmetric instance driven by the full Algorithm 1:
   // measures end-to-end events/second of the exact-time engine.
@@ -149,3 +180,37 @@ void BM_EngineEventThroughput(benchmark::State& state) {
 BENCHMARK(BM_EngineEventThroughput)->Arg(10'000)->Arg(100'000);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  // Strip --json[=path] before handing the remaining flags to benchmark.
+  bool json = false;
+  std::string json_path = "BENCH_micro.json";
+  int out = 1;
+  for (int in = 1; in < argc; ++in) {
+    if (std::strcmp(argv[in], "--json") == 0) {
+      json = true;
+    } else if (std::strncmp(argv[in], "--json=", 7) == 0) {
+      json = true;
+      json_path = argv[in] + 7;
+    } else {
+      argv[out++] = argv[in];
+    }
+  }
+  argc = out;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  if (json) {
+    aurv::bench::JsonCaptureReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    try {
+      aurv::bench::write_json(json_path, reporter.results());
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "error: %s\n", error.what());
+      return 1;
+    }
+  } else {
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  benchmark::Shutdown();
+  return 0;
+}

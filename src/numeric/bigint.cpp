@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <vector>
 
 #include "support/check.hpp"
 
@@ -94,7 +95,7 @@ BigInt BigInt::abs() const {
   return result;
 }
 
-int BigInt::compare_magnitudes(const std::vector<u64>& a, const std::vector<u64>& b) noexcept {
+int BigInt::compare_magnitudes(const LimbVec& a, const LimbVec& b) noexcept {
   if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
   for (std::size_t i = a.size(); i-- > 0;) {
     if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
@@ -102,8 +103,8 @@ int BigInt::compare_magnitudes(const std::vector<u64>& a, const std::vector<u64>
   return 0;
 }
 
-void BigInt::add_magnitudes(std::vector<u64>& acc, const std::vector<u64>& rhs) {
-  if (acc.size() < rhs.size()) acc.resize(rhs.size(), 0);
+void BigInt::add_magnitudes(LimbVec& acc, const LimbVec& rhs) {
+  if (acc.size() < rhs.size()) acc.resize(rhs.size());
   u64 carry = 0;
   for (std::size_t i = 0; i < acc.size(); ++i) {
     const u64 addend = i < rhs.size() ? rhs[i] : 0;
@@ -115,7 +116,7 @@ void BigInt::add_magnitudes(std::vector<u64>& acc, const std::vector<u64>& rhs) 
   if (carry) acc.push_back(1);
 }
 
-void BigInt::sub_magnitudes(std::vector<u64>& acc, const std::vector<u64>& rhs) {
+void BigInt::sub_magnitudes(LimbVec& acc, const LimbVec& rhs) {
   u64 borrow = 0;
   for (std::size_t i = 0; i < acc.size(); ++i) {
     const u64 subtrahend = i < rhs.size() ? rhs[i] : 0;
@@ -126,15 +127,30 @@ void BigInt::sub_magnitudes(std::vector<u64>& acc, const std::vector<u64>& rhs) 
   }
 }
 
+void BigInt::rsub_magnitudes(LimbVec& acc, const LimbVec& rhs) {
+  if (acc.size() < rhs.size()) acc.resize(rhs.size());
+  u64 borrow = 0;
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    const u64 subtrahend = acc[i];
+    const u64 before = i < rhs.size() ? rhs[i] : 0;
+    acc[i] = before - subtrahend - borrow;
+    borrow = (before < subtrahend) || (borrow && before == subtrahend) ? 1 : 0;
+  }
+}
+
 void BigInt::trim() noexcept {
   while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
   if (limbs_.empty()) sign_ = 0;
 }
 
-BigInt& BigInt::operator+=(const BigInt& rhs) {
-  if (rhs.sign_ == 0) return *this;
-  if (sign_ == 0) return *this = rhs;
-  if (sign_ == rhs.sign_) {
+BigInt& BigInt::accumulate(const BigInt& rhs, int rhs_sign) {
+  if (rhs_sign == 0) return *this;
+  if (sign_ == 0) {
+    limbs_ = rhs.limbs_;  // copy-assign reuses existing capacity
+    sign_ = rhs_sign;
+    return *this;
+  }
+  if (sign_ == rhs_sign) {
     add_magnitudes(limbs_, rhs.limbs_);
     return *this;
   }
@@ -146,20 +162,65 @@ BigInt& BigInt::operator+=(const BigInt& rhs) {
     sub_magnitudes(limbs_, rhs.limbs_);
     trim();
   } else {
-    std::vector<u64> result = rhs.limbs_;
-    sub_magnitudes(result, limbs_);
-    limbs_ = std::move(result);
-    sign_ = rhs.sign_;
+    rsub_magnitudes(limbs_, rhs.limbs_);
+    sign_ = rhs_sign;
     trim();
   }
   return *this;
 }
 
-BigInt& BigInt::operator-=(const BigInt& rhs) {
-  if (rhs.sign_ == 0) return *this;
-  BigInt negated = rhs;
-  negated.sign_ = -negated.sign_;
-  return *this += negated;
+BigInt& BigInt::operator+=(const BigInt& rhs) { return accumulate(rhs, rhs.sign_); }
+
+BigInt& BigInt::operator-=(const BigInt& rhs) { return accumulate(rhs, -rhs.sign_); }
+
+void BigInt::add_shifted(const BigInt& rhs, u64 shift_bits, int sign_mult) {
+  const int rhs_sign = rhs.sign_ * sign_mult;
+  if (rhs_sign == 0) return;
+  if (shift_bits == 0) {
+    accumulate(rhs, rhs_sign);
+    return;
+  }
+  if (sign_ != 0 && sign_ != rhs_sign) {
+    // Mixed signs need a magnitude comparison against the shifted operand;
+    // materialize it (rare in the dyadic hot path, which adds same-sign
+    // aligned numerators far more often than it cancels them).
+    accumulate(rhs << shift_bits, rhs_sign);
+    return;
+  }
+  const std::size_t limb_shift = shift_bits / 64;
+  const unsigned bit_shift = static_cast<unsigned>(shift_bits % 64);
+  const std::size_t shifted_limbs = rhs.limbs_.size() + limb_shift + (bit_shift != 0 ? 1 : 0);
+  if (limbs_.size() < shifted_limbs) limbs_.resize(shifted_limbs);
+  u64 carry = 0;
+  u64 shift_in = 0;
+  std::size_t pos = limb_shift;
+  for (std::size_t i = 0; i < rhs.limbs_.size() + 1; ++i, ++pos) {
+    const u64 cur = i < rhs.limbs_.size() ? rhs.limbs_[i] : 0;
+    u64 shifted;
+    if (bit_shift == 0) {
+      if (i == rhs.limbs_.size()) break;  // no spill limb without a sub-limb shift
+      shifted = cur;
+    } else {
+      shifted = (cur << bit_shift) | (shift_in >> (64 - bit_shift));
+      shift_in = cur;
+    }
+    const u64 before = limbs_[pos];
+    const u64 sum = before + shifted + carry;
+    carry = (sum < before) || (carry != 0 && sum == before) ? 1 : 0;
+    limbs_[pos] = sum;
+  }
+  while (carry != 0) {
+    if (pos == limbs_.size()) {
+      limbs_.push_back(1);
+      carry = 0;
+    } else {
+      ++limbs_[pos];
+      carry = limbs_[pos] == 0 ? 1 : 0;
+      ++pos;
+    }
+  }
+  sign_ = rhs_sign;  // sign_ was 0 or already equal
+  trim();
 }
 
 BigInt& BigInt::operator*=(const BigInt& rhs) {
@@ -169,10 +230,21 @@ BigInt& BigInt::operator*=(const BigInt& rhs) {
     sign_ = 0;
     return *this;
   }
+  if (limbs_.size() == 1 && rhs.limbs_.size() == 1) {
+    // 64x64 -> 128: the dominant case once Rational's int64 tier has been
+    // exceeded only just. Stays in the inline buffer, no allocation.
+    const u128 product = static_cast<u128>(limbs_[0]) * rhs.limbs_[0];
+    limbs_[0] = static_cast<u64>(product);
+    const u64 high = static_cast<u64>(product >> 64);
+    if (high != 0) limbs_.push_back(high);
+    sign_ *= rhs.sign_;
+    return *this;
+  }
   // Schoolbook multiplication; operand sizes in this library are a handful
   // of limbs (times up to ~2^1000), so asymptotically faster algorithms
   // would be pure overhead.
-  std::vector<u64> result(limbs_.size() + rhs.limbs_.size(), 0);
+  LimbVec result;
+  result.resize(limbs_.size() + rhs.limbs_.size());
   for (std::size_t i = 0; i < limbs_.size(); ++i) {
     u64 carry = 0;
     const u128 a = limbs_[i];
@@ -200,7 +272,7 @@ BigInt& BigInt::operator<<=(u64 bits) {
   const std::size_t limb_shift = bits / 64;
   const unsigned bit_shift = static_cast<unsigned>(bits % 64);
   const std::size_t old_size = limbs_.size();
-  limbs_.resize(old_size + limb_shift + (bit_shift != 0 ? 1 : 0), 0);
+  limbs_.resize(old_size + limb_shift + (bit_shift != 0 ? 1 : 0));
   for (std::size_t i = old_size; i-- > 0;) {
     const u64 low = limbs_[i];
     if (bit_shift == 0) {
@@ -254,7 +326,7 @@ BigInt::DivModResult BigInt::divmod(const BigInt& dividend, const BigInt& diviso
   // Base-2^32 schoolbook long division (Knuth D without the fine tuning;
   // operand sizes here are tiny). Work on 32-bit digits to keep the
   // quotient-digit estimation in 64-bit arithmetic.
-  auto to_digits32 = [](const std::vector<u64>& limbs) {
+  auto to_digits32 = [](const LimbVec& limbs) {
     std::vector<std::uint32_t> d;
     d.reserve(limbs.size() * 2);
     for (const u64 limb : limbs) {
@@ -266,6 +338,37 @@ BigInt::DivModResult BigInt::divmod(const BigInt& dividend, const BigInt& diviso
   };
   std::vector<std::uint32_t> num = to_digits32(dividend.limbs_);
   std::vector<std::uint32_t> den = to_digits32(divisor.limbs_);
+
+  // Knuth's normalization: scale both operands so the divisor's top digit
+  // has its high bit set. Without it the trial digit q_hat can overshoot
+  // the true digit by up to ~2^32 / den.back(), and the decrement-correct
+  // loop below degenerates into billions of iterations; with it the
+  // overshoot is at most 2. The quotient is invariant under the common
+  // scaling; only the remainder needs shifting back.
+  const auto normalize_shift =
+      static_cast<unsigned>(std::countl_zero(den.back()));
+  const auto shl_digits = [](std::vector<std::uint32_t>& d, unsigned s) {
+    if (s == 0) return;
+    std::uint32_t carry = 0;
+    for (std::uint32_t& digit : d) {
+      const std::uint32_t shifted = (digit << s) | carry;
+      carry = digit >> (32 - s);
+      digit = shifted;
+    }
+    if (carry != 0) d.push_back(carry);
+  };
+  const auto shr_digits = [](std::vector<std::uint32_t>& d, unsigned s) {
+    if (s == 0) return;
+    std::uint32_t carry = 0;
+    for (std::size_t k = d.size(); k-- > 0;) {
+      const std::uint32_t shifted = (d[k] >> s) | carry;
+      carry = d[k] << (32 - s);
+      d[k] = shifted;
+    }
+    while (!d.empty() && d.back() == 0) d.pop_back();
+  };
+  shl_digits(num, normalize_shift);
+  shl_digits(den, normalize_shift);
 
   std::vector<std::uint32_t> quot(num.size(), 0);
   std::vector<std::uint32_t> rem;  // little-endian, running remainder
@@ -349,6 +452,8 @@ BigInt::DivModResult BigInt::divmod(const BigInt& dividend, const BigInt& diviso
     out.trim();
     return out;
   };
+
+  shr_digits(rem, normalize_shift);  // undo the normalization scaling
 
   DivModResult result;
   result.quotient = from_digits32(quot);

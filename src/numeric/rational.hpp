@@ -10,12 +10,19 @@
 // Representation: a two-tier value. Values whose numerator and denominator
 // fit comfortably in int64 (the overwhelming majority of simulation event
 // arithmetic) are stored inline and combined with __int128 intermediates;
-// anything larger promotes transparently to heap-allocated BigInt. The
-// fast path matters: the simulator performs a handful of rational ops per
-// event and is rational-arithmetic bound (see bench/micro_kernels).
+// anything larger promotes transparently to heap-allocated BigInt. The big
+// tier additionally carries a *dyadic tag*: when the denominator is a power
+// of two (virtually always in simulator arithmetic — the paper's quantities
+// are k/2^i) its exponent is cached, and +=, -=, *, <=> reduce to
+// shift-align + integer add/compare, skipping BigInt::gcd and the cross
+// multiplications entirely. The general-rational path remains as fallback
+// with bit-exact identical results. The fast path matters: the simulator
+// performs a handful of rational ops per event and is rational-arithmetic
+// bound (see bench/micro_kernels).
 //
 // Invariants: denominator > 0, gcd(|num|, den) == 1, zero is 0/1; the
-// inline tier is used whenever |num| and den < 2^62.
+// inline tier is used whenever |num| and den < 2^62; in the big tier,
+// den_exp == e iff den == 2^e, else -1.
 #pragma once
 
 #include <compare>
@@ -72,7 +79,7 @@ class Rational {
     return big_ ? big_->num.is_negative() : num_ < 0;
   }
   [[nodiscard]] bool is_integer() const noexcept {
-    return big_ ? big_->den == BigInt(1) : den_ == 1;
+    return big_ ? big_->den_exp == 0 : den_ == 1;
   }
   [[nodiscard]] int sign() const noexcept {
     if (big_) return big_->num.sign();
@@ -82,6 +89,13 @@ class Rational {
   /// True when stored in the inline int64 tier (observability for tests
   /// and benchmarks; semantics never depend on the tier).
   [[nodiscard]] bool is_inline() const noexcept { return big_ == nullptr; }
+
+  /// True when the denominator is a power of two (k / 2^e), i.e. the value
+  /// is eligible for the shift-align fast paths. Observability, like
+  /// is_inline(): semantics never depend on it.
+  [[nodiscard]] bool is_dyadic() const noexcept {
+    return big_ ? big_->den_exp >= 0 : (den_ & (den_ - 1)) == 0;
+  }
 
   [[nodiscard]] Rational operator-() const;
   [[nodiscard]] Rational abs() const;
@@ -119,7 +133,8 @@ class Rational {
  private:
   struct Big {
     BigInt num;
-    BigInt den;  // > 0, coprime with num
+    BigInt den;            // > 0, coprime with num
+    std::int64_t den_exp;  // e iff den == 2^e (the dyadic tag), else -1
   };
 
   /// Fast-path eligibility bound: products of two such values fit in
@@ -130,8 +145,18 @@ class Rational {
   static Rational from_i128(__int128 numerator, __int128 denominator);
   static Rational from_bigints(BigInt numerator, BigInt denominator);
   void copy_from(const Rational& other);
-  /// The big-tier view of this value (materializes for inline values).
-  [[nodiscard]] Big as_big() const;
+  /// Shared core of += / -=: *this += sign_mult * rhs.
+  void add_impl(const Rational& rhs, int sign_mult);
+  /// *this = numerator / 2^den_exp, normalized; reuses the existing Big
+  /// allocation (including the denominator when the exponent is unchanged).
+  void assign_dyadic(BigInt numerator, std::uint64_t den_exp);
+  /// Big-tier operand access without materializing copies: returns a
+  /// reference to the stored BigInt, or fills `store` for inline values
+  /// (cheap: the SBO keeps one-limb BigInts off the heap).
+  [[nodiscard]] const BigInt& num_ref(BigInt& store) const;
+  [[nodiscard]] const BigInt& den_ref(BigInt& store) const;
+  /// den_exp of either tier: e iff den == 2^e, else -1.
+  [[nodiscard]] std::int64_t dyadic_exponent() const noexcept;
   /// Demote a big value back to the inline tier when it fits.
   void try_demote();
 

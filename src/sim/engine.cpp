@@ -48,8 +48,13 @@ struct AgentSim {
     }
     const program::Instruction& instruction = stream.value();
     ++instructions;
-    const Rational local_duration = program::duration_of(instruction);
-    seg_end = seg_start + frame.time_unit() * local_duration;
+    // Built in place (scale, then accumulate) so the huge event times pass
+    // through the Rationals' in-place dyadic fast paths instead of a chain
+    // of temporaries.
+    Rational end_time = frame.time_unit();
+    end_time *= program::duration_of(instruction);
+    end_time += seg_start;
+    seg_end = std::move(end_time);
     if (const auto* move = std::get_if<program::Go>(&instruction)) {
       if (move->distance.is_zero()) {
         velocity = {};
@@ -70,7 +75,7 @@ struct AgentSim {
   /// the next instruction.
   void advance_segment() {
     AURV_CHECK(seg_end.has_value());
-    seg_start = *seg_end;
+    seg_start = std::move(*seg_end);  // the segment end is consumed, not copied
     seg_start_pos = seg_end_pos;
     velocity = {};
     seg_end.reset();
@@ -162,15 +167,18 @@ SimResult Engine::run(program::Program for_a, program::Program for_b) const {
   while (true) {
     if (result.events >= config_.max_events) return finish(StopReason::FuelExhausted, now);
 
-    // Window end: earliest segment boundary, possibly clipped by the horizon.
-    std::optional<Rational> window_end;
+    // Window end: earliest segment boundary, possibly clipped by the
+    // horizon. Tracked by pointer: event times are multi-limb rationals, so
+    // a per-event std::optional<Rational> copy is an allocation the loop
+    // does not need.
+    const Rational* window_end = nullptr;
     for (const AgentSim* agent : {&a, &b}) {
-      if (agent->seg_end && (!window_end || *agent->seg_end < *window_end))
-        window_end = agent->seg_end;
+      if (agent->seg_end && (window_end == nullptr || *agent->seg_end < *window_end))
+        window_end = &*agent->seg_end;
     }
     bool at_horizon = false;
-    if (config_.horizon && (!window_end || *window_end >= *config_.horizon)) {
-      window_end = config_.horizon;
+    if (config_.horizon && (window_end == nullptr || *window_end >= *config_.horizon)) {
+      window_end = &*config_.horizon;
       at_horizon = true;
     }
 
