@@ -1,12 +1,17 @@
-// Minimal JSON emission for the micro-kernel baseline file.
+// Minimal JSON emission for the committed benchmark baseline files.
 //
 // `micro_kernels --json[=path]` writes a flat { benchmark name -> ns/op }
-// object (default path BENCH_micro.json). The committed BENCH_micro.json at
-// the repo root is the perf trajectory: each optimization PR re-runs the
-// kernels and updates it, so regressions are visible in review as a diff.
+// object (default path BENCH_micro.json), and `campaign_throughput` does
+// the same into BENCH_campaign.json. The committed BENCH_*.json files at
+// the repo root are the perf trajectory: each optimization PR re-runs the
+// kernels and updates them, so regressions are visible in review as a diff.
+//
+// The JSON-writing half of this header is dependency-free; the
+// JsonCaptureReporter needs google-benchmark, so it is only compiled when
+// the including TU has already pulled in <benchmark/benchmark.h> (as
+// micro_kernels does, under AURV_BENCH). Plain chrono-based benches like
+// campaign_throughput just call write_json and never link the library.
 #pragma once
-
-#include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <fstream>
@@ -17,6 +22,8 @@
 #include <vector>
 
 namespace aurv::bench {
+
+#ifdef BENCHMARK_BENCHMARK_H_  // <benchmark/benchmark.h> include guard
 
 namespace detail {
 
@@ -58,6 +65,8 @@ class JsonCaptureReporter : public benchmark::ConsoleReporter {
  private:
   std::map<std::string, double> results_;
 };
+
+#endif  // BENCHMARK_BENCHMARK_H_
 
 /// Escapes the handful of characters benchmark names can contain that JSON
 /// strings cannot hold verbatim.

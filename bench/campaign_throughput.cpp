@@ -1,0 +1,104 @@
+// BENCH-campaign — end-to-end throughput of the campaign runner: how many
+// simulation runs per second the sharded work-queue + streaming aggregation
+// pipeline sustains, at 1 thread and at hardware concurrency, with and
+// without the JSONL sink. Writes BENCH_campaign.json (same flat schema as
+// BENCH_micro.json, ns/op = ns per simulation run) when given --json.
+//
+//   ./campaign_throughput [--json[=path]] [--count N]
+//
+// The workload is a fixed type-2 census (cheap per-run, so the harness
+// overhead — job generation, per-shard aggregation, in-order flushing — is
+// a visible fraction, which is exactly what this bench is watching).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "bench_json.hpp"
+#include "exp/runner.hpp"
+#include "exp/scenario.hpp"
+#include "support/parse.hpp"
+
+namespace {
+
+using namespace aurv;
+
+exp::ScenarioSpec bench_spec(std::uint64_t count) {
+  exp::ScenarioSpec spec;
+  spec.name = "campaign_throughput";
+  spec.algorithm = "aurv";
+  spec.seed = 99;
+  spec.sampler = "type2";
+  spec.count = count;
+  spec.engine.max_events = 2'000'000;
+  return spec;
+}
+
+double ns_per_run(const exp::ScenarioSpec& spec, std::size_t threads,
+                  const std::string& jsonl_path) {
+  exp::CampaignOptions options;
+  options.threads = threads;
+  options.jsonl_path = jsonl_path;
+  const auto start = std::chrono::steady_clock::now();
+  const exp::CampaignResult result = exp::run_campaign(spec, options);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  if (result.aggregate.runs != spec.total_jobs()) {
+    std::fprintf(stderr, "campaign_throughput: short run!\n");
+    std::exit(1);
+  }
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()) /
+         static_cast<double>(result.aggregate.runs);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t count = 20'000;
+  std::string json_path;
+  bool write = false;
+  for (int k = 1; k < argc; ++k) {
+    if (std::strncmp(argv[k], "--json", 6) == 0 &&
+        (argv[k][6] == '\0' || argv[k][6] == '=')) {
+      write = true;
+      json_path = argv[k][6] == '=' ? argv[k] + 7 : "BENCH_campaign.json";
+    } else if (std::strcmp(argv[k], "--count") == 0 && k + 1 < argc) {
+      count = support::parse_uint(argv[++k], "--count");
+    } else {
+      std::fprintf(stderr, "usage: %s [--json[=path]] [--count N]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  std::size_t hardware = std::thread::hardware_concurrency();
+  if (hardware == 0) hardware = 1;
+  const exp::ScenarioSpec spec = bench_spec(count);
+  const std::string jsonl_tmp =
+      (std::filesystem::temp_directory_path() / "campaign_throughput.jsonl").string();
+
+  std::map<std::string, double> results;
+  const auto record = [&](const std::string& name, double ns) {
+    results[name] = ns;
+    const double rate = 1e9 / ns;
+    std::printf("%-44s %10.1f ns/run  %12.0f runs/s\n", name.c_str(), ns, rate);
+  };
+
+  (void)ns_per_run(spec, 1, "");  // warm-up (page cache, allocator)
+  record("BM_CampaignRun/threads:1", ns_per_run(spec, 1, ""));
+  if (hardware > 1) {
+    record("BM_CampaignRun/threads:" + std::to_string(hardware),
+           ns_per_run(spec, hardware, ""));
+  }
+  record("BM_CampaignRunJsonl/threads:" + std::to_string(hardware),
+         ns_per_run(spec, hardware, jsonl_tmp));
+  std::filesystem::remove(jsonl_tmp);
+
+  if (write) {
+    aurv::bench::write_json(json_path, results);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -5,29 +5,34 @@
 //   aurv_cli classify  r x y phi tau v t chi
 //   aurv_cli run       r x y phi tau v t chi [algorithm] [max_events]
 //   aurv_cli adversary s1|s2 [algorithm]
+//   aurv_cli sweep     scenario.json [threads]
 //
 //   algorithms: aurv (default) | latecomers | cgkk | cgkk-ext |
 //               wait-and-search | boundary | recommended
-//   tau, v, t accept exact rationals ("3/2"); phi is radians.
+//   tau, v, t accept exact rationals ("3/2"); phi is radians. All numeric
+//   arguments are parsed strictly: malformed input is an error, not 0.
 //
 // Examples:
 //   aurv_cli classify 1 3 4 0 1 1 4 1          # the S1 boundary
 //   aurv_cli run 1 2 0.6 0 1 1 3/2 -1          # type-1 rendezvous via AURV
 //   aurv_cli run 1 3 4 0 1 1 4 1 boundary      # dedicated S1 algorithm
 //   aurv_cli adversary s2 latecomers           # defeat Latecomers on S2
+//   aurv_cli sweep scenarios/smoke_type2.json  # campaign, summary on stdout
+//
+// `sweep` is a thin alias for `aurv_sweep run` (which has the full option
+// set: JSONL records, checkpoints, resume).
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "algo/boundary.hpp"
-#include "algo/cgkk.hpp"
-#include "algo/latecomers.hpp"
-#include "algo/wait_and_search.hpp"
 #include "core/adversary.hpp"
-#include "core/almost_universal.hpp"
 #include "core/feasibility.hpp"
+#include "exp/registry.hpp"
+#include "exp/runner.hpp"
+#include "exp/scenario.hpp"
 #include "sim/engine.hpp"
+#include "support/parse.hpp"
 
 namespace {
 
@@ -39,35 +44,24 @@ int usage(const char* argv0) {
                "  %s classify  r x y phi tau v t chi\n"
                "  %s run       r x y phi tau v t chi [algorithm] [max_events]\n"
                "  %s adversary s1|s2 [algorithm]\n"
+               "  %s sweep     scenario.json [threads]\n"
                "algorithms: aurv | latecomers | cgkk | cgkk-ext | wait-and-search |"
                " boundary | recommended\n",
-               argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0);
   return 2;
 }
 
 agents::Instance parse_instance(char** argv) {
-  return agents::Instance(std::atof(argv[0]), geom::Vec2{std::atof(argv[1]), std::atof(argv[2])},
-                          std::atof(argv[3]), numeric::Rational::from_string(argv[4]),
-                          numeric::Rational::from_string(argv[5]),
-                          numeric::Rational::from_string(argv[6]), std::atoi(argv[7]));
+  return agents::Instance(
+      support::parse_double(argv[0], "r"),
+      geom::Vec2{support::parse_double(argv[1], "x"), support::parse_double(argv[2], "y")},
+      support::parse_double(argv[3], "phi"), numeric::Rational::from_string(argv[4]),
+      numeric::Rational::from_string(argv[5]), numeric::Rational::from_string(argv[6]),
+      static_cast<int>(support::parse_int(argv[7], "chi")));
 }
 
 sim::AlgorithmFactory pick_algorithm(const std::string& name, const agents::Instance& instance) {
-  if (name == "aurv") return [] { return core::almost_universal_rv(); };
-  if (name == "latecomers") return [] { return algo::latecomers(); };
-  if (name == "cgkk") return [] { return algo::cgkk(); };
-  if (name == "cgkk-ext") return [] { return algo::cgkk_extended(); };
-  if (name == "wait-and-search") return [] { return algo::wait_and_search(); };
-  if (name == "recommended") return core::recommended_algorithm(instance);
-  if (name == "boundary") {
-    const core::Classification c = core::classify(instance, 1e-9);
-    if (c.kind == core::InstanceKind::BoundaryS2 ||
-        (instance.is_synchronous() && instance.chi() == -1)) {
-      return [instance] { return algo::boundary_s2_algorithm(instance); };
-    }
-    return [instance] { return algo::boundary_s1_algorithm(instance); };
-  }
-  throw std::invalid_argument("unknown algorithm: " + name);
+  return exp::resolve_algorithm(name)(instance);
 }
 
 void print_classification(const agents::Instance& instance) {
@@ -92,7 +86,7 @@ int cmd_run(int argc, char** argv) {
   print_classification(instance);
 
   sim::EngineConfig config;
-  config.max_events = argc >= 10 ? std::strtoull(argv[9], nullptr, 10) : 20'000'000;
+  config.max_events = argc >= 10 ? support::parse_uint(argv[9], "max_events") : 20'000'000;
   const sim::SimResult result =
       sim::Engine(instance, config).run(pick_algorithm(algorithm, instance));
   std::printf("algorithm: %s\n", algorithm.c_str());
@@ -144,6 +138,16 @@ int cmd_adversary(int argc, char** argv) {
   return 0;
 }
 
+int cmd_sweep(int argc, char** argv) {
+  if (argc < 1 || argc > 2) return usage("aurv_cli");
+  const exp::ScenarioSpec spec = exp::ScenarioSpec::load(argv[0]);
+  exp::CampaignOptions options;
+  if (argc == 2) options.threads = support::parse_uint(argv[1], "threads");
+  const exp::CampaignResult result = exp::run_campaign(spec, options);
+  std::printf("%s", result.summary(spec).dump(2).c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -152,6 +156,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[1], "classify") == 0) return cmd_classify(argc - 2, argv + 2);
     if (std::strcmp(argv[1], "run") == 0) return cmd_run(argc - 2, argv + 2);
     if (std::strcmp(argv[1], "adversary") == 0) return cmd_adversary(argc - 2, argv + 2);
+    if (std::strcmp(argv[1], "sweep") == 0) return cmd_sweep(argc - 2, argv + 2);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 3;

@@ -1,0 +1,143 @@
+// aurv_sweep — campaign driver: execute a declarative scenario spec
+// (scenarios/*.json) through the sharded campaign runner.
+//
+//   aurv_sweep run <scenario.json> [options]
+//       --threads N          worker threads (0 = hardware, default)
+//       --out PATH           summary JSON artifact (default: stdout)
+//       --jsonl PATH         per-run JSONL records, in job order
+//       --checkpoint PATH    checkpoint file (enables --resume)
+//       --checkpoint-every K checkpoint every K shards (default 64)
+//       --resume             continue from the checkpoint if it exists
+//       --shard-size K       jobs per shard (default 256)
+//       --max-shards K       stop after K shards (incremental execution)
+//       --quiet              no progress on stderr
+//   aurv_sweep describe <scenario.json>   parsed spec, job count, first instances
+//   aurv_sweep list                       registered algorithms and samplers
+//
+// The summary JSON is deterministic: identical at any --threads value, and
+// identical whether the campaign ran in one go or across checkpoint/resume
+// cycles.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "exp/registry.hpp"
+#include "exp/runner.hpp"
+#include "exp/scenario.hpp"
+#include "support/parse.hpp"
+
+namespace {
+
+using namespace aurv;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  aurv_sweep run <scenario.json> [--threads N] [--out PATH] [--jsonl PATH]\n"
+               "             [--checkpoint PATH] [--checkpoint-every K] [--resume]\n"
+               "             [--shard-size K] [--max-shards K] [--quiet]\n"
+               "  aurv_sweep describe <scenario.json>\n"
+               "  aurv_sweep list\n");
+  return 2;
+}
+
+int cmd_list() {
+  std::printf("algorithms:");
+  for (const std::string& name : exp::algorithm_names()) std::printf(" %s", name.c_str());
+  std::printf("\nsamplers:  ");
+  for (const std::string& name : exp::sampler_names()) std::printf(" %s", name.c_str());
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_describe(const std::string& path) {
+  const exp::ScenarioSpec spec = exp::ScenarioSpec::load(path);
+  std::printf("%s", spec.to_json().dump(2).c_str());
+  std::printf("total jobs: %llu\n", static_cast<unsigned long long>(spec.total_jobs()));
+  const std::uint64_t preview = std::min<std::uint64_t>(3, spec.total_jobs());
+  for (std::uint64_t job = 0; job < preview; ++job) {
+    std::printf("job %llu: %s\n", static_cast<unsigned long long>(job),
+                exp::campaign_instance(spec, job).to_string().c_str());
+  }
+  return 0;
+}
+
+int cmd_run(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const std::string spec_path = argv[0];
+  exp::CampaignOptions options;
+  std::string out_path;
+  bool quiet = false;
+
+  for (int k = 1; k < argc; ++k) {
+    const std::string flag = argv[k];
+    const auto value = [&]() -> std::string {
+      if (k + 1 >= argc) throw std::invalid_argument(flag + " needs a value");
+      return argv[++k];
+    };
+    if (flag == "--threads") options.threads = support::parse_uint(value(), "--threads");
+    else if (flag == "--out") out_path = value();
+    else if (flag == "--jsonl") options.jsonl_path = value();
+    else if (flag == "--checkpoint") options.checkpoint_path = value();
+    else if (flag == "--checkpoint-every")
+      options.checkpoint_every = support::parse_uint(value(), "--checkpoint-every");
+    else if (flag == "--resume") options.resume = true;
+    else if (flag == "--shard-size")
+      options.shard_size = support::parse_uint(value(), "--shard-size");
+    else if (flag == "--max-shards")
+      options.max_shards = support::parse_uint(value(), "--max-shards");
+    else if (flag == "--quiet") quiet = true;
+    else {
+      std::fprintf(stderr, "unknown option: %s\n", flag.c_str());
+      return usage();
+    }
+  }
+
+  const exp::ScenarioSpec spec = exp::ScenarioSpec::load(spec_path);
+  if (!quiet) {
+    options.progress = [](std::uint64_t done, std::uint64_t total) {
+      // One status line, overwritten in place; ~64 updates over the run.
+      const std::uint64_t step = std::max<std::uint64_t>(1, total / 64);
+      if (done % step < 256 || done == total)
+        std::fprintf(stderr, "\r%llu/%llu jobs", static_cast<unsigned long long>(done),
+                     static_cast<unsigned long long>(total));
+    };
+  }
+
+  const exp::CampaignResult result = exp::run_campaign(spec, options);
+  if (!quiet) {
+    std::fprintf(stderr, "\r%llu/%llu jobs done (%llu run now%s)\n",
+                 static_cast<unsigned long long>(
+                     result.complete ? result.jobs
+                                     : result.resumed_shards * options.shard_size +
+                                           result.jobs_run),
+                 static_cast<unsigned long long>(result.jobs),
+                 static_cast<unsigned long long>(result.jobs_run),
+                 result.resumed_shards > 0 ? ", resumed" : "");
+  }
+
+  const support::Json summary = result.summary(spec);
+  if (out_path.empty()) {
+    std::printf("%s", summary.dump(2).c_str());
+  } else {
+    summary.save_file(out_path);
+    if (!quiet) std::fprintf(stderr, "summary written to %s\n", out_path.c_str());
+  }
+  return result.complete ? 0 : 4;  // 4 = stopped early (max_shards)
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  try {
+    if (std::strcmp(argv[1], "list") == 0) return cmd_list();
+    if (std::strcmp(argv[1], "describe") == 0 && argc == 3) return cmd_describe(argv[2]);
+    if (std::strcmp(argv[1], "run") == 0) return cmd_run(argc - 2, argv + 2);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 3;
+  }
+  return usage();
+}

@@ -1,0 +1,131 @@
+#include "exp/aggregate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace aurv::exp {
+
+using support::Json;
+
+int meet_time_bucket(double meet_time) {
+  if (!(meet_time > 0.0)) return 0;
+  const int k = static_cast<int>(std::floor(std::log2(meet_time))) +
+                CampaignAggregate::kHistogramOffset;
+  return std::clamp(k, 0, CampaignAggregate::kHistogramBuckets - 1);
+}
+
+void CampaignAggregate::add(const sim::SimResult& result) {
+  if (runs == 0) {
+    min_distance_floor = result.min_distance_seen;
+  } else {
+    min_distance_floor = std::min(min_distance_floor, result.min_distance_seen);
+  }
+  ++runs;
+  ++stop_reasons[static_cast<std::size_t>(result.reason)];
+  total_events += result.events;
+  max_events = std::max(max_events, result.events);
+  if (result.met) {
+    if (met == 0) {
+      meet_time_min = result.meet_time;
+      meet_time_max = result.meet_time;
+    } else {
+      meet_time_min = std::min(meet_time_min, result.meet_time);
+      meet_time_max = std::max(meet_time_max, result.meet_time);
+    }
+    ++met;
+    meet_time_sum += result.meet_time;
+    ++meet_time_histogram[static_cast<std::size_t>(meet_time_bucket(result.meet_time))];
+  }
+}
+
+void CampaignAggregate::merge(const CampaignAggregate& other) {
+  if (other.runs == 0) return;
+  if (runs == 0) {
+    *this = other;
+    return;
+  }
+  min_distance_floor = std::min(min_distance_floor, other.min_distance_floor);
+  runs += other.runs;
+  for (std::size_t k = 0; k < stop_reasons.size(); ++k) stop_reasons[k] += other.stop_reasons[k];
+  total_events += other.total_events;
+  max_events = std::max(max_events, other.max_events);
+  if (other.met > 0) {
+    if (met == 0) {
+      meet_time_min = other.meet_time_min;
+      meet_time_max = other.meet_time_max;
+    } else {
+      meet_time_min = std::min(meet_time_min, other.meet_time_min);
+      meet_time_max = std::max(meet_time_max, other.meet_time_max);
+    }
+    met += other.met;
+    meet_time_sum += other.meet_time_sum;
+    for (std::size_t k = 0; k < meet_time_histogram.size(); ++k)
+      meet_time_histogram[k] += other.meet_time_histogram[k];
+  }
+}
+
+double CampaignAggregate::meet_time_percentile(double p) const {
+  AURV_CHECK_MSG(p >= 0.0 && p <= 1.0, "percentile out of [0, 1]");
+  if (met == 0) return 0.0;
+  // Rank of the p-quantile among met runs, 1-based, ceil convention.
+  const auto rank = static_cast<std::uint64_t>(
+      std::max(1.0, std::ceil(p * static_cast<double>(met))));
+  std::uint64_t seen = 0;
+  for (int k = 0; k < kHistogramBuckets; ++k) {
+    seen += meet_time_histogram[static_cast<std::size_t>(k)];
+    if (seen >= rank) return std::ldexp(1.0, k - kHistogramOffset + 1);  // bucket upper edge
+  }
+  return meet_time_max;
+}
+
+Json CampaignAggregate::to_json() const {
+  Json json = Json::object();
+  json.set("runs", Json(runs));
+  json.set("met", Json(met));
+  json.set("meet_rate", Json(meet_rate()));
+  Json reasons = Json::object();
+  for (std::size_t k = 0; k < stop_reasons.size(); ++k) {
+    reasons.set(sim::to_string(static_cast<sim::StopReason>(k)), Json(stop_reasons[k]));
+  }
+  json.set("stop_reasons", std::move(reasons));
+  json.set("total_events", Json(total_events));
+  json.set("max_events", Json(max_events));
+  json.set("meet_time_sum", Json(meet_time_sum));
+  json.set("meet_time_min", Json(meet_time_min));
+  json.set("meet_time_max", Json(meet_time_max));
+  json.set("meet_time_p50", Json(meet_time_percentile(0.50)));
+  json.set("meet_time_p95", Json(meet_time_percentile(0.95)));
+  json.set("meet_time_p99", Json(meet_time_percentile(0.99)));
+  Json histogram = Json::array();
+  for (const std::uint64_t count : meet_time_histogram) histogram.push_back(Json(count));
+  json.set("meet_time_histogram", std::move(histogram));
+  json.set("min_distance_floor", Json(min_distance_floor));
+  return json;
+}
+
+CampaignAggregate CampaignAggregate::from_json(const Json& json) {
+  CampaignAggregate aggregate;
+  aggregate.runs = json.at("runs").as_uint();
+  aggregate.met = json.at("met").as_uint();
+  const Json& reasons = json.at("stop_reasons");
+  for (std::size_t k = 0; k < aggregate.stop_reasons.size(); ++k) {
+    aggregate.stop_reasons[k] =
+        reasons.at(sim::to_string(static_cast<sim::StopReason>(k))).as_uint();
+  }
+  aggregate.total_events = json.at("total_events").as_uint();
+  aggregate.max_events = json.at("max_events").as_uint();
+  aggregate.meet_time_sum = json.at("meet_time_sum").as_number();
+  aggregate.meet_time_min = json.at("meet_time_min").as_number();
+  aggregate.meet_time_max = json.at("meet_time_max").as_number();
+  const Json::Array& histogram = json.at("meet_time_histogram").as_array();
+  AURV_CHECK_MSG(histogram.size() == aggregate.meet_time_histogram.size(),
+                 "histogram size mismatch in checkpoint");
+  for (std::size_t k = 0; k < histogram.size(); ++k)
+    aggregate.meet_time_histogram[k] = histogram[k].as_uint();
+  aggregate.min_distance_floor = json.at("min_distance_floor").as_number();
+  return aggregate;
+}
+
+}  // namespace aurv::exp

@@ -1,0 +1,72 @@
+// Streaming campaign statistics: everything the paper's sweep tables report
+// about a population of runs, in O(1) memory per shard.
+//
+// An aggregate absorbs SimResults one at a time and merges associatively
+// with other aggregates. Both operations are performed in a fixed order by
+// the campaign runner (job order within a shard, shard order across
+// shards), so every field — including the floating-point sums — is
+// bit-identical at any thread count. Percentiles come from a fixed
+// log2-bucketed histogram of meet times (exact to the bucket, deterministic
+// by construction); exact extrema are tracked separately.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "sim/engine.hpp"
+#include "support/json.hpp"
+
+namespace aurv::exp {
+
+struct CampaignAggregate {
+  /// log2 buckets for meet times: bucket k covers [2^(k-16), 2^(k-15)),
+  /// clamped at the ends. Covers 2^-16 .. 2^48 absolute time units, beyond
+  /// the span of any experiment in the repo (block-3 waits land in the
+  /// engine's fuel budget long before 2^48).
+  static constexpr int kHistogramBuckets = 64;
+  static constexpr int kHistogramOffset = 16;
+
+  std::uint64_t runs = 0;
+  std::uint64_t met = 0;
+  /// Indexed by sim::StopReason.
+  std::array<std::uint64_t, 4> stop_reasons{};
+
+  std::uint64_t total_events = 0;
+  std::uint64_t max_events = 0;
+
+  double meet_time_sum = 0.0;
+  double meet_time_min = 0.0;  ///< valid when met > 0
+  double meet_time_max = 0.0;
+  std::array<std::uint64_t, kHistogramBuckets> meet_time_histogram{};
+
+  /// min over all runs of the run's continuous minimum distance — the
+  /// impossibility campaigns assert this floor stays above r.
+  double min_distance_floor = 0.0;  ///< valid when runs > 0
+
+  void add(const sim::SimResult& result);
+
+  /// Associative combine; the runner always calls this left-to-right in
+  /// shard order, which is what makes double sums reproducible.
+  void merge(const CampaignAggregate& other);
+
+  /// Meet-time percentile from the histogram: upper edge of the bucket
+  /// containing the p-quantile rank among met runs (0 when met == 0).
+  [[nodiscard]] double meet_time_percentile(double p) const;
+
+  [[nodiscard]] double meet_rate() const {
+    return runs == 0 ? 0.0 : static_cast<double>(met) / static_cast<double>(runs);
+  }
+
+  /// Lossless round-trip (doubles serialized exactly) — the checkpoint
+  /// format. to_json also embeds derived convenience fields (meet_rate,
+  /// p50/p95/p99) which from_json ignores.
+  [[nodiscard]] support::Json to_json() const;
+  [[nodiscard]] static CampaignAggregate from_json(const support::Json& json);
+
+  friend bool operator==(const CampaignAggregate& a, const CampaignAggregate& b) = default;
+};
+
+/// Histogram bucket index for a meet time (exposed for tests).
+[[nodiscard]] int meet_time_bucket(double meet_time);
+
+}  // namespace aurv::exp

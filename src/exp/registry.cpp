@@ -1,0 +1,120 @@
+#include "exp/registry.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "algo/boundary.hpp"
+#include "algo/cgkk.hpp"
+#include "algo/latecomers.hpp"
+#include "algo/wait_and_search.hpp"
+#include "core/almost_universal.hpp"
+#include "core/feasibility.hpp"
+
+namespace aurv::exp {
+
+namespace {
+
+sim::AlgorithmFactory boundary_factory(const agents::Instance& instance) {
+  // Same dispatch as the CLI: S2 (and any synchronous chi = -1 instance,
+  // whose dedicated algorithm is the S2 one) gets boundary_s2, the rest S1.
+  const core::Classification c = core::classify(instance, 1e-9);
+  if (c.kind == core::InstanceKind::BoundaryS2 ||
+      (instance.is_synchronous() && instance.chi() == -1)) {
+    return [instance] { return algo::boundary_s2_algorithm(instance); };
+  }
+  return [instance] { return algo::boundary_s1_algorithm(instance); };
+}
+
+struct AlgorithmEntry {
+  const char* name;
+  AlgorithmResolver resolver;
+};
+
+const std::vector<AlgorithmEntry>& algorithm_registry() {
+  static const std::vector<AlgorithmEntry> registry = {
+      {"aurv", [](const agents::Instance&) -> sim::AlgorithmFactory {
+         return [] { return core::almost_universal_rv(); };
+       }},
+      {"latecomers", [](const agents::Instance&) -> sim::AlgorithmFactory {
+         return [] { return algo::latecomers(); };
+       }},
+      {"cgkk", [](const agents::Instance&) -> sim::AlgorithmFactory {
+         return [] { return algo::cgkk(); };
+       }},
+      {"cgkk-ext", [](const agents::Instance&) -> sim::AlgorithmFactory {
+         return [] { return algo::cgkk_extended(); };
+       }},
+      {"wait-and-search", [](const agents::Instance&) -> sim::AlgorithmFactory {
+         return [] { return algo::wait_and_search(); };
+       }},
+      {"boundary", boundary_factory},
+      {"recommended", [](const agents::Instance& instance) {
+         return core::recommended_algorithm(instance);
+       }},
+  };
+  return registry;
+}
+
+struct SamplerEntry {
+  const char* name;
+  SamplerFn sampler;
+};
+
+const std::vector<SamplerEntry>& sampler_registry() {
+  static const std::vector<SamplerEntry> registry = {
+      {"type1", agents::sample_type1},
+      {"type2", agents::sample_type2},
+      {"type3", agents::sample_type3},
+      {"type4", agents::sample_type4},
+      {"boundary-s1", agents::sample_boundary_s1},
+      {"boundary-s2", agents::sample_boundary_s2},
+      {"infeasible", agents::sample_infeasible},
+  };
+  return registry;
+}
+
+template <typename Entry, typename Value>
+Value resolve(const std::vector<Entry>& registry, const std::string& name,
+              Value Entry::*member, const char* what,
+              const std::vector<std::string>& known) {
+  for (const Entry& entry : registry) {
+    if (name == entry.name) return entry.*member;
+  }
+  std::string message = std::string("unknown ") + what + " \"" + name + "\"; known: ";
+  for (std::size_t k = 0; k < known.size(); ++k) {
+    if (k != 0) message += ", ";
+    message += known[k];
+  }
+  throw std::invalid_argument(message);
+}
+
+template <typename Entry>
+std::vector<std::string> names_of(const std::vector<Entry>& registry) {
+  std::vector<std::string> names;
+  names.reserve(registry.size());
+  for (const Entry& entry : registry) names.emplace_back(entry.name);
+  return names;
+}
+
+}  // namespace
+
+AlgorithmResolver resolve_algorithm(const std::string& name) {
+  return resolve(algorithm_registry(), name, &AlgorithmEntry::resolver, "algorithm",
+                 algorithm_names());
+}
+
+SamplerFn resolve_sampler(const std::string& name) {
+  return resolve(sampler_registry(), name, &SamplerEntry::sampler, "sampler", sampler_names());
+}
+
+const std::vector<std::string>& algorithm_names() {
+  static const std::vector<std::string> names = names_of(algorithm_registry());
+  return names;
+}
+
+const std::vector<std::string>& sampler_names() {
+  static const std::vector<std::string> names = names_of(sampler_registry());
+  return names;
+}
+
+}  // namespace aurv::exp

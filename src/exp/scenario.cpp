@@ -1,0 +1,216 @@
+#include "exp/scenario.hpp"
+
+#include <initializer_list>
+#include <stdexcept>
+#include <string_view>
+
+#include "exp/registry.hpp"
+#include "support/check.hpp"
+
+namespace aurv::exp {
+
+using support::Json;
+
+namespace {
+
+/// Strictness: every key of `json` must be in `allowed`.
+void check_keys(const Json& json, std::initializer_list<std::string_view> allowed,
+                const char* context) {
+  for (const auto& [key, value] : json.as_object()) {
+    bool known = false;
+    for (const std::string_view candidate : allowed) known = known || key == candidate;
+    if (!known)
+      throw std::invalid_argument(std::string("scenario: unknown key \"") + key + "\" in " +
+                                  context);
+  }
+}
+
+numeric::Rational rational_from(const Json& json, const char* what) {
+  if (json.is_string()) return numeric::Rational::from_string(json.as_string());
+  if (json.is_number()) return numeric::Rational::from_double(json.as_number());
+  throw std::invalid_argument(std::string("scenario: ") + what +
+                              " must be a number or a rational string");
+}
+
+Json rational_to(const numeric::Rational& value) {
+  // Small integers render as JSON numbers (friendlier to read and edit);
+  // everything else as an exact "num/den" string.
+  const std::string text = value.to_string();
+  if (text.find('/') == std::string::npos && text.size() <= 15) {
+    return Json(static_cast<double>(std::stoll(text)));
+  }
+  return Json(text);
+}
+
+agents::Instance instance_from(const Json& json) {
+  check_keys(json, {"r", "x", "y", "phi", "tau", "v", "t", "chi"}, "grid instance");
+  return agents::Instance(
+      json.at("r").as_number(),
+      geom::Vec2{json.at("x").as_number(), json.at("y").as_number()},
+      json.number_or("phi", 0.0),
+      json.find("tau") != nullptr ? rational_from(json.at("tau"), "tau") : numeric::Rational(1),
+      json.find("v") != nullptr ? rational_from(json.at("v"), "v") : numeric::Rational(1),
+      json.find("t") != nullptr ? rational_from(json.at("t"), "t") : numeric::Rational(0),
+      static_cast<int>(json.at("chi").as_int()));
+}
+
+Json instance_to(const agents::Instance& instance) {
+  Json json = Json::object();
+  json.set("r", Json(instance.r()));
+  json.set("x", Json(instance.b_start().x));
+  json.set("y", Json(instance.b_start().y));
+  json.set("phi", Json(instance.phi()));
+  json.set("tau", rational_to(instance.tau()));
+  json.set("v", rational_to(instance.v()));
+  json.set("t", rational_to(instance.t()));
+  json.set("chi", Json(instance.chi()));
+  return json;
+}
+
+agents::SamplerRanges ranges_from(const Json& json) {
+  check_keys(json, {"r_min", "r_max", "dist_min", "dist_max", "margin_min", "margin_max"},
+             "source.ranges");
+  agents::SamplerRanges ranges;
+  ranges.r_min = json.number_or("r_min", ranges.r_min);
+  ranges.r_max = json.number_or("r_max", ranges.r_max);
+  ranges.dist_min = json.number_or("dist_min", ranges.dist_min);
+  ranges.dist_max = json.number_or("dist_max", ranges.dist_max);
+  ranges.margin_min = json.number_or("margin_min", ranges.margin_min);
+  ranges.margin_max = json.number_or("margin_max", ranges.margin_max);
+  return ranges;
+}
+
+Json ranges_to(const agents::SamplerRanges& ranges) {
+  Json json = Json::object();
+  json.set("r_min", Json(ranges.r_min));
+  json.set("r_max", Json(ranges.r_max));
+  json.set("dist_min", Json(ranges.dist_min));
+  json.set("dist_max", Json(ranges.dist_max));
+  json.set("margin_min", Json(ranges.margin_min));
+  json.set("margin_max", Json(ranges.margin_max));
+  return json;
+}
+
+sim::EngineConfig engine_from(const Json& json) {
+  check_keys(json, {"max_events", "contact_slack", "horizon", "r_a", "r_b"}, "engine");
+  sim::EngineConfig config;
+  config.max_events = json.uint_or("max_events", config.max_events);
+  config.contact_slack = json.number_or("contact_slack", config.contact_slack);
+  if (const Json* horizon = json.find("horizon"); horizon != nullptr && !horizon->is_null())
+    config.horizon = rational_from(*horizon, "horizon");
+  if (const Json* r_a = json.find("r_a"); r_a != nullptr && !r_a->is_null())
+    config.r_a = r_a->as_number();
+  if (const Json* r_b = json.find("r_b"); r_b != nullptr && !r_b->is_null())
+    config.r_b = r_b->as_number();
+  // trace_capacity deliberately not exposed: a campaign recording traces
+  // would not be constant-memory.
+  return config;
+}
+
+Json engine_to(const sim::EngineConfig& config) {
+  Json json = Json::object();
+  json.set("max_events", Json(config.max_events));
+  json.set("contact_slack", Json(config.contact_slack));
+  if (config.horizon) json.set("horizon", rational_to(*config.horizon));
+  if (config.r_a) json.set("r_a", Json(*config.r_a));
+  if (config.r_b) json.set("r_b", Json(*config.r_b));
+  return json;
+}
+
+}  // namespace
+
+std::uint64_t ScenarioSpec::total_jobs() const {
+  const std::uint64_t instances = instance_count();
+  AURV_CHECK_MSG(replications == 0 || instances <= UINT64_MAX / replications,
+                 "scenario: count x replications overflows");
+  return instances * replications;
+}
+
+ScenarioSpec ScenarioSpec::from_json(const Json& json) {
+  check_keys(json,
+             {"schema", "name", "description", "algorithm", "seed", "replications", "source",
+              "engine"},
+             "scenario");
+  const std::uint64_t schema = json.uint_or("schema", 1);
+  if (schema != 1)
+    throw std::invalid_argument("scenario: unsupported schema " + std::to_string(schema));
+
+  ScenarioSpec spec;
+  spec.name = json.string_or("name", "");
+  spec.description = json.string_or("description", "");
+  spec.algorithm = json.string_or("algorithm", "aurv");
+  spec.seed = json.uint_or("seed", 0);
+  spec.replications = json.uint_or("replications", 1);
+  if (spec.replications == 0)
+    throw std::invalid_argument("scenario: replications must be >= 1");
+
+  const Json& source = json.at("source");
+  const bool has_sampler = source.find("sampler") != nullptr;
+  const bool has_grid = source.find("grid") != nullptr;
+  if (has_sampler == has_grid)
+    throw std::invalid_argument(
+        "scenario: source requires exactly one of \"sampler\" or \"grid\"");
+  if (has_sampler) {
+    check_keys(source, {"sampler", "count", "ranges"}, "source");
+    spec.sampler = source.at("sampler").as_string();
+    spec.count = source.at("count").as_uint();
+    if (spec.count == 0) throw std::invalid_argument("scenario: source.count must be >= 1");
+    if (const Json* ranges = source.find("ranges")) spec.ranges = ranges_from(*ranges);
+  } else {
+    check_keys(source, {"grid"}, "source");
+    for (const Json& entry : source.at("grid").as_array()) spec.grid.push_back(instance_from(entry));
+    if (spec.grid.empty()) throw std::invalid_argument("scenario: source.grid is empty");
+  }
+
+  if (const Json* engine = json.find("engine")) spec.engine = engine_from(*engine);
+
+  // Fail at load time, not at job 0: both names must resolve.
+  (void)resolve_algorithm(spec.algorithm);
+  if (!spec.sampler.empty()) (void)resolve_sampler(spec.sampler);
+  return spec;
+}
+
+Json ScenarioSpec::to_json() const {
+  Json json = Json::object();
+  json.set("schema", Json(std::uint64_t{1}));
+  json.set("name", Json(name));
+  if (!description.empty()) json.set("description", Json(description));
+  json.set("algorithm", Json(algorithm));
+  json.set("seed", Json(seed));
+  json.set("replications", Json(replications));
+  Json source = Json::object();
+  if (!sampler.empty()) {
+    source.set("sampler", Json(sampler));
+    source.set("count", Json(count));
+    source.set("ranges", ranges_to(ranges));
+  } else {
+    Json grid_json = Json::array();
+    for (const agents::Instance& instance : grid) grid_json.push_back(instance_to(instance));
+    source.set("grid", std::move(grid_json));
+  }
+  json.set("source", std::move(source));
+  json.set("engine", engine_to(engine));
+  return json;
+}
+
+ScenarioSpec ScenarioSpec::load(const std::string& path) {
+  try {
+    return from_json(Json::load_file(path));
+  } catch (const std::exception& error) {
+    throw std::invalid_argument(path + ": " + error.what());
+  }
+}
+
+void ScenarioSpec::save(const std::string& path) const { to_json().save_file(path); }
+
+std::uint64_t ScenarioSpec::fingerprint() const {
+  const std::string canonical = to_json().dump();
+  std::uint64_t hash = 1469598103934665603ull;  // FNV-1a 64
+  for (const char c : canonical) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+}  // namespace aurv::exp

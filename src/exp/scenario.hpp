@@ -1,0 +1,85 @@
+// ScenarioSpec — the declarative description of a campaign.
+//
+// A spec names *what* to run (an instance source and an algorithm from the
+// registries), *how much* (count x replications), *how* (engine config) and
+// *from where* (the seed): everything needed to reproduce a sweep table,
+// a census or an impossibility horizon as data in a scenarios/*.json file
+// instead of a hand-rolled C++ loop. Parsing is strict — unknown keys are
+// rejected so a typo'd field fails loudly instead of silently running a
+// different experiment.
+//
+// Schema (see EXPERIMENTS.md for the prose version):
+//
+//   {
+//     "schema": 1,
+//     "name": "type1_census",
+//     "description": "optional free text",
+//     "algorithm": "aurv",                  // exp::algorithm_names()
+//     "seed": 2020,
+//     "replications": 1,                    // runs per instance
+//     "source": {                           // exactly one of:
+//       "sampler": "type1", "count": 2500,  //   region sampler
+//       "ranges": { "r_min": 0.5, ... }     //   (optional overrides)
+//     },                                    // or:
+//     //  "grid": [ {"r":1,"x":2,"y":0.6,"phi":0,"tau":1,"v":1,"t":"3/2","chi":-1}, ... ]
+//     "engine": {                           // all optional
+//       "max_events": 4000000,
+//       "contact_slack": 1e-9,
+//       "horizon": "4096",                  // exact rational; absent = none
+//       "r_a": 1.5, "r_b": 0.5              // distinct radii; absent = instance r
+//     }
+//   }
+//
+// tau/v/t and horizon accept exact rationals as strings ("3/2") or JSON
+// numbers (converted exactly via Rational::from_double).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "agents/instance.hpp"
+#include "agents/sampler.hpp"
+#include "sim/engine.hpp"
+#include "support/json.hpp"
+
+namespace aurv::exp {
+
+struct ScenarioSpec {
+  std::string name;
+  std::string description;
+  std::string algorithm = "aurv";
+  std::uint64_t seed = 0;
+  std::uint64_t replications = 1;
+
+  /// Sampler mode when non-empty (then `count` instances are drawn);
+  /// otherwise `grid` holds the explicit instances.
+  std::string sampler;
+  std::uint64_t count = 0;
+  agents::SamplerRanges ranges;
+  std::vector<agents::Instance> grid;
+
+  sim::EngineConfig engine;
+
+  /// count (or grid size) x replications.
+  [[nodiscard]] std::uint64_t total_jobs() const;
+  [[nodiscard]] std::uint64_t instance_count() const {
+    return sampler.empty() ? grid.size() : count;
+  }
+
+  /// Strict parse; throws support::JsonError / std::invalid_argument with a
+  /// message naming the offending field. Validates the algorithm and
+  /// sampler names against the registries.
+  [[nodiscard]] static ScenarioSpec from_json(const support::Json& json);
+  [[nodiscard]] support::Json to_json() const;
+
+  [[nodiscard]] static ScenarioSpec load(const std::string& path);
+  void save(const std::string& path) const;
+
+  /// FNV-1a over the canonical serialization — checkpoints store it so a
+  /// resume against an edited spec is refused instead of merging apples
+  /// into oranges.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+};
+
+}  // namespace aurv::exp

@@ -1,50 +1,25 @@
 #include "sim/batch.hpp"
 
-#include <atomic>
-#include <exception>
-#include <mutex>
-#include <thread>
-
-#include "support/check.hpp"
+#include "support/parallel.hpp"
 
 namespace aurv::sim {
 
 std::vector<SimResult> run_batch(std::vector<BatchJob> jobs, std::size_t threads) {
   if (jobs.empty()) return {};
-  if (threads == 0) {
-    threads = std::thread::hardware_concurrency();
-    if (threads == 0) threads = 1;
-  }
-  threads = std::min(threads, jobs.size());
-
   std::vector<SimResult> results(jobs.size());
-  std::atomic<std::size_t> next{0};
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
-
-  const auto worker = [&] {
-    while (true) {
-      const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
-      if (index >= jobs.size()) return;
-      try {
+  support::ShardedRunOptions options;
+  options.threads = threads;
+  // One job per shard: simulation jobs dwarf the per-shard bookkeeping, and
+  // job-granular claiming keeps the load balance of the old per-job queue.
+  // Error determinism comes from the primitive: the exception from the
+  // lowest job index is the one rethrown, at any thread count.
+  support::run_sharded(
+      jobs.size(),
+      [&](std::size_t index) {
         const BatchJob& job = jobs[index];
         results[index] = Engine(job.instance, job.config).run(job.algorithm);
-      } catch (...) {
-        const std::scoped_lock lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-      }
-    }
-  };
-
-  if (threads == 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (std::size_t k = 0; k < threads; ++k) pool.emplace_back(worker);
-    for (std::thread& thread : pool) thread.join();
-  }
-  if (first_error) std::rethrow_exception(first_error);
+      },
+      {}, options);
   return results;
 }
 

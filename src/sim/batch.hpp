@@ -2,8 +2,10 @@
 // jobs across a thread pool. Rendezvous simulations are embarrassingly
 // parallel — each job owns its engine, streams and result — so the sweep
 // experiments (TAB-1/2/3 style) and the property-test grids scale with
-// cores. Determinism: results are returned in job order regardless of
-// scheduling.
+// cores. Determinism: results are returned in job order, and the exception
+// that propagates is the one from the lowest job index — both regardless of
+// scheduling. Built on support::run_sharded; campaigns over lazily
+// generated jobs (no materialized result vector) live in exp::CampaignRunner.
 #pragma once
 
 #include <cstddef>
@@ -24,8 +26,11 @@ struct BatchJob {
 };
 
 /// Runs all jobs and returns their results in job order. `threads = 0`
-/// picks std::thread::hardware_concurrency(). Exceptions thrown by a job
-/// propagate to the caller (first one wins; remaining jobs still complete).
+/// picks std::thread::hardware_concurrency(). Exceptions thrown by jobs
+/// propagate to the caller — the first *in job order* wins (not the first
+/// one scheduled), so the error is identical at any thread count. Jobs
+/// already running when one fails still finish; unstarted jobs are skipped
+/// (their results would be discarded with the throw anyway).
 [[nodiscard]] std::vector<SimResult> run_batch(std::vector<BatchJob> jobs,
                                                std::size_t threads = 0);
 

@@ -1,0 +1,475 @@
+#include "support/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+namespace aurv::support {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& message) { throw JsonError("json: " + message); }
+
+const char* kind_name(Json::Kind kind) {
+  switch (kind) {
+    case Json::Kind::Null: return "null";
+    case Json::Kind::Bool: return "bool";
+    case Json::Kind::Number: return "number";
+    case Json::Kind::String: return "string";
+    case Json::Kind::Array: return "array";
+    case Json::Kind::Object: return "object";
+  }
+  return "?";
+}
+
+[[noreturn]] void fail_kind(const char* wanted, Json::Kind got) {
+  fail(std::string("expected ") + wanted + ", got " + kind_name(got));
+}
+
+/// Recursive-descent parser over a string_view with byte-offset errors.
+/// Nesting is capped so hostile input throws JsonError instead of
+/// overflowing the stack.
+constexpr int kMaxParseDepth = 256;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    Json value = parse_value();
+    skip_whitespace();
+    if (pos_ != text_.size()) error("trailing characters after document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void error(const std::string& message) const {
+    fail(message + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_whitespace();
+    if (pos_ >= text_.size()) error("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) error(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  Json parse_value() {
+    if (depth_ >= kMaxParseDepth) error("nesting too deep");
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json(parse_string());
+      case 't':
+        if (consume_literal("true")) return Json(true);
+        error("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return Json(false);
+        error("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return Json(nullptr);
+        error("invalid literal");
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    ++depth_;
+    expect('{');
+    Json::Object object;
+    if (peek() == '}') {
+      ++pos_;
+      --depth_;
+      return Json(std::move(object));
+    }
+    while (true) {
+      if (peek() != '"') error("expected object key");
+      std::string key = parse_string();
+      // Strict: a duplicate key would make one of the two values silently
+      // win — for a scenario spec that means silently running a different
+      // experiment, the exact failure mode this library exists to prevent.
+      for (const auto& [existing, value] : object) {
+        if (existing == key) error("duplicate object key \"" + key + "\"");
+      }
+      expect(':');
+      object.emplace_back(std::move(key), parse_value());
+      const char next = peek();
+      ++pos_;
+      if (next == '}') {
+        --depth_;
+        return Json(std::move(object));
+      }
+      if (next != ',') error("expected ',' or '}' in object");
+    }
+  }
+
+  Json parse_array() {
+    ++depth_;
+    expect('[');
+    Json::Array array;
+    if (peek() == ']') {
+      ++pos_;
+      --depth_;
+      return Json(std::move(array));
+    }
+    while (true) {
+      array.push_back(parse_value());
+      const char next = peek();
+      ++pos_;
+      if (next == ']') {
+        --depth_;
+        return Json(std::move(array));
+      }
+      if (next != ',') error("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) error("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) error("raw control character in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) error("unterminated escape");
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': out.append(parse_unicode_escape()); break;
+        default: error("invalid escape character");
+      }
+    }
+  }
+
+  std::string parse_unicode_escape() {
+    const unsigned code = parse_hex4();
+    // Minimal UTF-8 encoding; surrogate pairs are passed through as two
+    // 3-byte sequences (the specs this library reads are ASCII in practice).
+    std::string out;
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+    return out;
+  }
+
+  unsigned parse_hex4() {
+    unsigned value = 0;
+    for (int k = 0; k < 4; ++k) {
+      if (pos_ >= text_.size()) error("unterminated \\u escape");
+      const char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') value |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') value |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') value |= static_cast<unsigned>(c - 'A' + 10);
+      else error("invalid hex digit in \\u escape");
+    }
+    return value;
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    const auto digits = [&] {
+      std::size_t n = 0;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+        ++n;
+      }
+      return n;
+    };
+    const std::size_t int_start = pos_;
+    if (digits() == 0) error("invalid number");
+    // JSON forbids leading zeros ("012"); accepting them would silently
+    // reinterpret malformed artifacts.
+    if (text_[int_start] == '0' && pos_ - int_start > 1) error("leading zero in number");
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (digits() == 0) error("digits required after decimal point");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      if (digits() == 0) error("digits required in exponent");
+    }
+    // from_chars: locale-independent, and the grammar above already
+    // excludes NaN/Inf spellings and hex floats.
+    const std::string_view token = text_.substr(start, pos_ - start);
+    double value = 0.0;
+    const auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec == std::errc::result_out_of_range || !std::isfinite(value))
+      error("number out of double range");
+    if (ec != std::errc{} || ptr != token.data() + token.size()) error("invalid number");
+    return Json(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+void write_escaped(std::string& out, const std::string& text) {
+  out.push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+std::string json_number_to_string(double value) {
+  if (!std::isfinite(value)) fail("cannot serialize non-finite number");
+  // to_chars, not printf: the output must never depend on the process
+  // locale (an embedder calling setlocale must not corrupt checkpoints).
+  char buffer[40];
+  // 2^53: largest range where every integer is exactly representable, so
+  // the integer rendering is lossless. -0.0 is excluded — "0" would drop
+  // its sign bit; the to_chars path below prints "-0".
+  if (value == std::floor(value) && std::fabs(value) <= 9007199254740992.0 &&
+      !(value == 0.0 && std::signbit(value))) {
+    const auto [ptr, ec] = std::to_chars(buffer, buffer + sizeof buffer,
+                                         static_cast<std::int64_t>(value));
+    return std::string(buffer, ptr);
+  }
+  // Shortest round-trip-exact form (to_chars without precision).
+  const auto [ptr, ec] = std::to_chars(buffer, buffer + sizeof buffer, value);
+  return std::string(buffer, ptr);
+}
+
+bool Json::as_bool() const {
+  if (kind_ != Kind::Bool) fail_kind("bool", kind_);
+  return bool_;
+}
+
+double Json::as_number() const {
+  if (kind_ != Kind::Number) fail_kind("number", kind_);
+  return number_;
+}
+
+const std::string& Json::as_string() const {
+  if (kind_ != Kind::String) fail_kind("string", kind_);
+  return string_;
+}
+
+const Json::Array& Json::as_array() const {
+  if (kind_ != Kind::Array) fail_kind("array", kind_);
+  return array_;
+}
+
+const Json::Object& Json::as_object() const {
+  if (kind_ != Kind::Object) fail_kind("object", kind_);
+  return object_;
+}
+
+Json::Array& Json::as_array() {
+  if (kind_ != Kind::Array) fail_kind("array", kind_);
+  return array_;
+}
+
+Json::Object& Json::as_object() {
+  if (kind_ != Kind::Object) fail_kind("object", kind_);
+  return object_;
+}
+
+std::uint64_t Json::as_uint() const {
+  const double value = as_number();
+  if (value < 0 || value != std::floor(value) || value > 9007199254740992.0)
+    fail("expected non-negative integer, got " + json_number_to_string(value));
+  return static_cast<std::uint64_t>(value);
+}
+
+std::int64_t Json::as_int() const {
+  const double value = as_number();
+  if (value != std::floor(value) || std::fabs(value) > 9007199254740992.0)
+    fail("expected integer, got " + json_number_to_string(value));
+  return static_cast<std::int64_t>(value);
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (kind_ != Kind::Object) return nullptr;
+  for (const auto& [name, value] : object_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+const Json& Json::at(std::string_view key) const {
+  if (kind_ != Kind::Object) fail_kind("object", kind_);
+  const Json* value = find(key);
+  if (value == nullptr) fail("missing key \"" + std::string(key) + "\"");
+  return *value;
+}
+
+double Json::number_or(std::string_view key, double fallback) const {
+  const Json* value = find(key);
+  return value != nullptr ? value->as_number() : fallback;
+}
+
+std::uint64_t Json::uint_or(std::string_view key, std::uint64_t fallback) const {
+  const Json* value = find(key);
+  return value != nullptr ? value->as_uint() : fallback;
+}
+
+bool Json::bool_or(std::string_view key, bool fallback) const {
+  const Json* value = find(key);
+  return value != nullptr ? value->as_bool() : fallback;
+}
+
+std::string Json::string_or(std::string_view key, std::string fallback) const {
+  const Json* value = find(key);
+  return value != nullptr ? value->as_string() : fallback;
+}
+
+void Json::set(std::string key, Json value) {
+  if (kind_ != Kind::Object) fail_kind("object", kind_);
+  if (find(key) != nullptr) fail("duplicate key \"" + key + "\"");
+  object_.emplace_back(std::move(key), std::move(value));
+}
+
+void Json::push_back(Json value) {
+  if (kind_ != Kind::Array) fail_kind("array", kind_);
+  array_.push_back(std::move(value));
+}
+
+void Json::write(std::string& out, int indent, int depth) const {
+  const bool pretty = indent >= 0;
+  const auto newline_indent = [&](int level) {
+    if (!pretty) return;
+    out.push_back('\n');
+    out.append(static_cast<std::size_t>(indent * level), ' ');
+  };
+  switch (kind_) {
+    case Kind::Null: out += "null"; return;
+    case Kind::Bool: out += bool_ ? "true" : "false"; return;
+    case Kind::Number: out += json_number_to_string(number_); return;
+    case Kind::String: write_escaped(out, string_); return;
+    case Kind::Array: {
+      if (array_.empty()) {
+        out += "[]";
+        return;
+      }
+      out.push_back('[');
+      for (std::size_t k = 0; k < array_.size(); ++k) {
+        if (k != 0) out.push_back(',');
+        newline_indent(depth + 1);
+        array_[k].write(out, indent, depth + 1);
+      }
+      newline_indent(depth);
+      out.push_back(']');
+      return;
+    }
+    case Kind::Object: {
+      if (object_.empty()) {
+        out += "{}";
+        return;
+      }
+      out.push_back('{');
+      for (std::size_t k = 0; k < object_.size(); ++k) {
+        if (k != 0) out.push_back(',');
+        newline_indent(depth + 1);
+        write_escaped(out, object_[k].first);
+        out += pretty ? ": " : ":";
+        object_[k].second.write(out, indent, depth + 1);
+      }
+      newline_indent(depth);
+      out.push_back('}');
+      return;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  write(out, indent, 0);
+  if (indent >= 0) out.push_back('\n');
+  return out;
+}
+
+Json Json::parse(std::string_view text) { return Parser(text).parse_document(); }
+
+Json Json::load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+void Json::save_file(const std::string& path, int indent) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) fail("cannot open " + path + " for writing");
+  out << dump(indent);
+  if (!out) fail("write to " + path + " failed");
+}
+
+bool operator==(const Json& a, const Json& b) {
+  if (a.kind_ != b.kind_) return false;
+  switch (a.kind_) {
+    case Json::Kind::Null: return true;
+    case Json::Kind::Bool: return a.bool_ == b.bool_;
+    case Json::Kind::Number: return a.number_ == b.number_;
+    case Json::Kind::String: return a.string_ == b.string_;
+    case Json::Kind::Array: return a.array_ == b.array_;
+    case Json::Kind::Object: return a.object_ == b.object_;
+  }
+  return false;
+}
+
+}  // namespace aurv::support

@@ -1,0 +1,123 @@
+// Minimal self-contained JSON reader/writer for the experiment layer.
+//
+// Scenario specs, campaign summaries and checkpoints are all JSON, and the
+// campaign subsystem needs them to be *deterministic*: the same campaign
+// must serialize to byte-identical text regardless of thread count or
+// platform locale. Hence this small library instead of an external
+// dependency: objects preserve insertion order, numbers round-trip IEEE
+// doubles exactly (std::to_chars shortest form; integral values up to 2^53
+// print as integers), and number I/O goes through <charconv>, which never
+// consults the process locale.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace aurv::support {
+
+/// Parse/serialization failure; `what()` includes the byte offset.
+class JsonError : public std::runtime_error {
+ public:
+  explicit JsonError(const std::string& message) : std::runtime_error(message) {}
+};
+
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  /// Insertion-ordered: round-tripping a spec preserves the author's layout
+  /// and makes summary output deterministic.
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  enum class Kind : std::uint8_t { Null, Bool, Number, String, Array, Object };
+
+  Json() : kind_(Kind::Null) {}
+  Json(std::nullptr_t) : kind_(Kind::Null) {}
+  Json(bool value) : kind_(Kind::Bool), bool_(value) {}
+  Json(double value) : kind_(Kind::Number), number_(value) {}
+  /// Any other arithmetic type converts through double (exact up to 2^53,
+  /// which as_uint/as_int enforce on the way back out).
+  template <typename T, typename = std::enable_if_t<std::is_arithmetic_v<T> && !std::is_same_v<T, bool>>>
+  Json(T value) : Json(static_cast<double>(value)) {}
+  Json(const char* value) : kind_(Kind::String), string_(value) {}
+  Json(std::string value) : kind_(Kind::String), string_(std::move(value)) {}
+  Json(Array value) : kind_(Kind::Array), array_(std::move(value)) {}
+  Json(Object value) : kind_(Kind::Object), object_(std::move(value)) {}
+
+  [[nodiscard]] static Json object() { return Json(Object{}); }
+  [[nodiscard]] static Json array() { return Json(Array{}); }
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::Null; }
+  [[nodiscard]] bool is_bool() const noexcept { return kind_ == Kind::Bool; }
+  [[nodiscard]] bool is_number() const noexcept { return kind_ == Kind::Number; }
+  [[nodiscard]] bool is_string() const noexcept { return kind_ == Kind::String; }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::Array; }
+  [[nodiscard]] bool is_object() const noexcept { return kind_ == Kind::Object; }
+
+  /// Typed accessors; throw JsonError on kind mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+  [[nodiscard]] Array& as_array();
+  [[nodiscard]] Object& as_object();
+
+  /// `as_number()` checked to be integral and within the exact-double range.
+  [[nodiscard]] std::uint64_t as_uint() const;
+  [[nodiscard]] std::int64_t as_int() const;
+
+  /// Object lookup: nullptr when absent (or not an object).
+  [[nodiscard]] const Json* find(std::string_view key) const;
+  /// Object lookup; throws JsonError naming the key when absent.
+  [[nodiscard]] const Json& at(std::string_view key) const;
+
+  /// Object field with a default when the key is absent.
+  [[nodiscard]] double number_or(std::string_view key, double fallback) const;
+  [[nodiscard]] std::uint64_t uint_or(std::string_view key, std::uint64_t fallback) const;
+  [[nodiscard]] bool bool_or(std::string_view key, bool fallback) const;
+  [[nodiscard]] std::string string_or(std::string_view key, std::string fallback) const;
+
+  /// Appends (object) / pushes (array); `set` never overwrites silently —
+  /// duplicate keys are a bug in the writer, checked.
+  void set(std::string key, Json value);
+  void push_back(Json value);
+
+  /// Serialize. indent < 0 emits compact one-line JSON; indent >= 0 emits
+  /// pretty-printed text with that many spaces per level and a trailing
+  /// newline at top level.
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+  /// Parses exactly one JSON document; trailing non-whitespace is an error.
+  [[nodiscard]] static Json parse(std::string_view text);
+
+  /// File convenience wrappers (throw JsonError on I/O failure).
+  [[nodiscard]] static Json load_file(const std::string& path);
+  void save_file(const std::string& path, int indent = 2) const;
+
+  friend bool operator==(const Json& a, const Json& b);
+
+ private:
+  void write(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Formats a double the way Json::dump does: integers in the exact range as
+/// integers, everything else in the shortest round-trip-exact to_chars
+/// form. Exposed so JSONL sinks can emit numbers identically to the
+/// summary artifact.
+[[nodiscard]] std::string json_number_to_string(double value);
+
+}  // namespace aurv::support

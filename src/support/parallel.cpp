@@ -1,0 +1,113 @@
+#include "support/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace aurv::support {
+
+void run_sharded(std::size_t shard_count, const std::function<void(std::size_t)>& body,
+                 const std::function<void(std::size_t)>& complete,
+                 const ShardedRunOptions& options) {
+  if (shard_count == 0) return;
+  std::size_t threads = options.threads;
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  threads = std::min(threads, shard_count);
+  std::size_t window = options.max_in_flight;
+  if (window != 0) window = std::max(window, threads);
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> aborted{false};
+  // The mutex guards everything below; `complete` runs under it, which both
+  // serializes the hook and keeps the in-order drain simple. Workers only
+  // touch the lock once per *shard*, so contention is amortized by the
+  // chunk size, not per job.
+  std::mutex mutex;
+  std::condition_variable drained;
+  enum : char { kPending = 0, kDone = 1, kFailed = 2 };
+  std::vector<char> status(shard_count, kPending);
+  std::size_t next_complete = 0;
+  std::size_t error_shard = std::numeric_limits<std::size_t>::max();
+  std::exception_ptr error;
+
+  const auto record_error = [&](std::size_t shard, std::exception_ptr e) {
+    // Lowest shard wins; caller holds the mutex.
+    if (shard < error_shard) {
+      error_shard = shard;
+      error = std::move(e);
+    }
+    aborted.store(true, std::memory_order_relaxed);
+  };
+
+  const auto worker = [&] {
+    while (true) {
+      // After a failure, stop claiming: everything past the break point
+      // would be computed, stashed by the consumer, and then thrown away.
+      // In-flight shards still finish, and because shards are claimed in
+      // index order every shard below a failed one is already claimed — so
+      // skipping the tail cannot change which error is the lowest-index
+      // one, at any thread count.
+      if (aborted.load(std::memory_order_relaxed)) return;
+      const std::size_t shard = next.fetch_add(1, std::memory_order_relaxed);
+      if (shard >= shard_count) return;
+      if (window != 0) {
+        // Backpressure: don't run ahead of the drain by more than the
+        // window. Deadlock-free because shards are claimed in order, so the
+        // drain's head shard is always already claimed and executing (never
+        // waiting here — its index is below next_complete + window).
+        std::unique_lock<std::mutex> lock(mutex);
+        drained.wait(lock, [&] {
+          return shard < next_complete + window || next_complete >= shard_count;
+        });
+      }
+      std::exception_ptr body_error;
+      try {
+        body(shard);
+      } catch (...) {
+        body_error = std::current_exception();
+      }
+      const std::scoped_lock lock(mutex);
+      status[shard] = body_error ? kFailed : kDone;  // before the move below
+      if (body_error) record_error(shard, std::move(body_error));
+      while (next_complete < shard_count && status[next_complete] != kPending) {
+        if (status[next_complete] == kFailed) {
+          // The in-order stream is broken: consumers must never observe a
+          // prefix with a hole in it, so no further shard completes (the
+          // remaining bodies still run; the error is rethrown after join).
+          next_complete = shard_count;
+          break;
+        }
+        const std::size_t ready = next_complete++;
+        if (complete) {
+          try {
+            complete(ready);
+          } catch (...) {
+            record_error(ready, std::current_exception());
+            next_complete = shard_count;
+          }
+        }
+      }
+      if (window != 0) drained.notify_all();
+    }
+  };
+
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t k = 0; k < threads; ++k) pool.emplace_back(worker);
+    for (std::thread& thread : pool) thread.join();
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace aurv::support

@@ -1,0 +1,56 @@
+// Strict numeric parsing for CLI front-ends.
+//
+// std::atof / std::atoi silently return 0 on garbage, which for this code
+// base means "run a different experiment than the one the user typed".
+// These helpers require the *entire* token to parse and throw
+// std::invalid_argument naming the offending text otherwise.
+#pragma once
+
+#include <charconv>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <system_error>
+
+namespace aurv::support {
+
+namespace detail {
+[[noreturn]] inline void parse_failed(const char* what, const std::string& text) {
+  throw std::invalid_argument(std::string("invalid ") + what + ": \"" + text + "\"");
+}
+}  // namespace detail
+
+/// std::from_chars-based: locale-independent, whole-token, and strict about
+/// range — overflow, "inf"/"nan" spellings and hex floats are all rejected.
+[[nodiscard]] inline double parse_double(const std::string& text, const char* what = "number") {
+  double value = 0.0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end || !std::isfinite(value))
+    detail::parse_failed(what, text);
+  return value;
+}
+
+[[nodiscard]] inline long long parse_int(const std::string& text, const char* what = "integer") {
+  long long value = 0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value, 10);
+  if (ec != std::errc{} || ptr != end) detail::parse_failed(what, text);
+  return value;
+}
+
+[[nodiscard]] inline unsigned long long parse_uint(const std::string& text,
+                                                   const char* what = "non-negative integer") {
+  unsigned long long value = 0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  // from_chars on an unsigned type rejects a leading '-' and accepts the
+  // full uint64 range (parse_int would cap at 2^63 - 1).
+  const auto [ptr, ec] = std::from_chars(begin, end, value, 10);
+  if (ec != std::errc{} || ptr != end) detail::parse_failed(what, text);
+  return value;
+}
+
+}  // namespace aurv::support

@@ -2,7 +2,9 @@
 // equivalence, exception propagation.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <stdexcept>
+#include <thread>
 
 #include "core/almost_universal.hpp"
 #include "program/combinators.hpp"
@@ -77,6 +79,37 @@ TEST(Batch, ExceptionPropagates) {
                             {}});
   }
   EXPECT_THROW((void)run_batch(std::move(jobs), 4), std::runtime_error);
+}
+
+TEST(Batch, FirstExceptionInJobOrderWins) {
+  // Every job throws, each with its own message, and job 0 is made the
+  // *slowest* to fail — under first-scheduled semantics some later job's
+  // error would almost surely surface instead. The contract is: the
+  // propagated error is job 0's, at any thread count.
+  const auto make_jobs = [] {
+    std::vector<BatchJob> jobs;
+    for (int k = 0; k < 16; ++k) {
+      jobs.push_back(BatchJob{Instance::synchronous(1.0, Vec2{5.0, 0.0}, 0.0, 0, 1),
+                              [k]() -> program::Program {
+                                if (k == 0) {
+                                  // Give every other worker ample time to
+                                  // throw first.
+                                  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+                                }
+                                throw std::runtime_error("job-" + std::to_string(k));
+                              },
+                              {}});
+    }
+    return jobs;
+  };
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}, std::size_t{8}}) {
+    try {
+      (void)run_batch(make_jobs(), threads);
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& error) {
+      EXPECT_STREQ(error.what(), "job-0") << "threads=" << threads;
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,50 @@
+// Tests for the strict CLI numeric parsers: whole-token, range-checked,
+// locale-independent.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "support/parse.hpp"
+
+namespace aurv::support {
+namespace {
+
+TEST(Parse, AcceptsWellFormedNumbers) {
+  EXPECT_EQ(parse_double("2.5"), 2.5);
+  EXPECT_EQ(parse_double("-1e3"), -1000.0);
+  EXPECT_EQ(parse_double("0"), 0.0);
+  EXPECT_EQ(parse_int("-42"), -42);
+  EXPECT_EQ(parse_uint("17"), 17ull);
+  EXPECT_EQ(parse_uint("18446744073709551615"), 18446744073709551615ull);  // full uint64 range
+}
+
+TEST(Parse, RejectsGarbage) {
+  EXPECT_THROW((void)parse_double(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_double("abc"), std::invalid_argument);
+  EXPECT_THROW((void)parse_double("0.6bogus"), std::invalid_argument);
+  EXPECT_THROW((void)parse_double("1.2.3"), std::invalid_argument);
+  EXPECT_THROW((void)parse_int("12x"), std::invalid_argument);
+  EXPECT_THROW((void)parse_int("1.5"), std::invalid_argument);
+  EXPECT_THROW((void)parse_uint("-3"), std::invalid_argument);
+}
+
+TEST(Parse, RejectsNonFiniteAndOutOfRange) {
+  EXPECT_THROW((void)parse_double("inf"), std::invalid_argument);
+  EXPECT_THROW((void)parse_double("nan"), std::invalid_argument);
+  EXPECT_THROW((void)parse_double("0x10"), std::invalid_argument);
+  EXPECT_THROW((void)parse_double("1e999"), std::invalid_argument);
+  EXPECT_THROW((void)parse_int("99999999999999999999"), std::invalid_argument);
+}
+
+TEST(Parse, ErrorsNameTheArgument) {
+  try {
+    (void)parse_double("junk", "--threads");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("--threads"), std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("junk"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace aurv::support
