@@ -1,0 +1,124 @@
+// BENCH-search — end-to-end throughput of the branch-and-bound: how many
+// parameter boxes per second the wave executor + deterministic merge
+// pipeline sustains, at 1 worker and at hardware concurrency, plus the
+// prune rate the interval bounds achieve on a boundary-straddling slab.
+// Writes BENCH_search.json (same flat schema as BENCH_micro.json; ns/op =
+// ns per evaluated box) when given --json.
+//
+//   ./search_throughput [--json[=path]] [--boxes N]
+//
+// The workload is the committed type-1 worst-meet-time shape (tuple space
+// over (x, t) straddling the t = |x| - r feasibility boundary), scaled up:
+// per-box cost is one short engine run, so the harness overhead — wave
+// assembly, bound evaluation, frontier maintenance, in-order merging — is
+// a visible fraction, which is exactly what this bench is watching.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "bench_json.hpp"
+#include "exp/scenario.hpp"
+#include "exp/search_driver.hpp"
+#include "support/parse.hpp"
+
+namespace {
+
+using namespace aurv;
+using numeric::BigInt;
+using numeric::Rational;
+
+exp::SearchSpec bench_spec(std::uint64_t boxes) {
+  exp::SearchSpec spec;
+  spec.name = "search_throughput";
+  spec.algorithm = "aurv";
+  spec.objective = "max-meet-time";
+  spec.space.family = search::SearchSpace::Family::Tuple;
+  spec.space.chi = -1;
+  spec.space.fixed = {{"r", Rational(1)},
+                      {"y", Rational(BigInt(6), BigInt(5))},
+                      {"phi", Rational(0)}};
+  spec.space.dim_names = {"x", "t"};
+  spec.box = {search::Interval{Rational(BigInt(3), BigInt(2)), Rational(BigInt(7), BigInt(2))},
+              search::Interval{Rational(0), Rational(3)}};
+  spec.limits.max_boxes = boxes;
+  spec.limits.wave_size = 64;
+  spec.limits.min_width = Rational(BigInt(1), BigInt(1u << 20));
+  spec.engine.max_events = 2'000'000;
+  spec.engine.horizon = Rational(256);
+  return spec;
+}
+
+struct BenchRun {
+  double ns_per_box;
+  double prune_rate;
+};
+
+BenchRun run_once(const exp::SearchSpec& spec, std::size_t max_shards) {
+  exp::SearchOptions options;
+  options.max_shards = max_shards;
+  const auto start = std::chrono::steady_clock::now();
+  const exp::SearchRunResult result = exp::run_search(spec, options);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  if (result.bnb.stats.evaluated != spec.limits.max_boxes) {
+    std::fprintf(stderr, "search_throughput: short run!\n");
+    std::exit(1);
+  }
+  const auto evaluated = static_cast<double>(result.bnb.stats.evaluated);
+  const auto considered =
+      evaluated + static_cast<double>(result.bnb.stats.pruned);
+  return {static_cast<double>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()) /
+              evaluated,
+          considered > 0 ? static_cast<double>(result.bnb.stats.pruned) / considered : 0.0};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t boxes = 20'000;
+  std::string json_path;
+  bool write = false;
+  for (int k = 1; k < argc; ++k) {
+    if (std::strncmp(argv[k], "--json", 6) == 0 &&
+        (argv[k][6] == '\0' || argv[k][6] == '=')) {
+      write = true;
+      json_path = argv[k][6] == '=' ? argv[k] + 7 : "BENCH_search.json";
+    } else if (std::strcmp(argv[k], "--boxes") == 0 && k + 1 < argc) {
+      boxes = support::parse_uint(argv[++k], "--boxes");
+    } else {
+      std::fprintf(stderr, "usage: %s [--json[=path]] [--boxes N]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  std::size_t hardware = std::thread::hardware_concurrency();
+  if (hardware == 0) hardware = 1;
+  const exp::SearchSpec spec = bench_spec(boxes);
+
+  std::map<std::string, double> results;
+  const auto record = [&](const std::string& name, double ns) {
+    results[name] = ns;
+    std::printf("%-44s %10.1f ns/box  %12.0f boxes/s\n", name.c_str(), ns, 1e9 / ns);
+  };
+
+  (void)run_once(spec, 1);  // warm-up (page cache, allocator)
+  const BenchRun serial = run_once(spec, 1);
+  record("BM_SearchBnb/shards:1", serial.ns_per_box);
+  if (hardware > 1) {
+    record("BM_SearchBnb/shards:" + std::to_string(hardware),
+           run_once(spec, hardware).ns_per_box);
+  }
+  // The prune rate is a search-quality metric, not a time: committed so a
+  // bound regression (weaker pruning) shows up in review as a diff.
+  results["BM_SearchBnb/prune_rate_pct"] = serial.prune_rate * 100.0;
+  std::printf("%-44s %10.2f %% of considered boxes pruned\n", "BM_SearchBnb/prune_rate_pct",
+              serial.prune_rate * 100.0);
+
+  if (write) {
+    aurv::bench::write_json(json_path, results);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -1,5 +1,6 @@
-// aurv_sweep — campaign driver: execute a declarative scenario spec
-// (scenarios/*.json) through the sharded campaign runner.
+// aurv_sweep — campaign and search driver: execute a declarative scenario
+// spec (scenarios/*.json) through the sharded campaign runner, or a search
+// spec (scenarios/search_*.json) through the deterministic branch-and-bound.
 //
 //   aurv_sweep run <scenario.json> [options]
 //       --threads N          worker threads (0 = hardware, default)
@@ -11,12 +12,24 @@
 //       --shard-size K       jobs per shard (default 256)
 //       --max-shards K       stop after K shards (incremental execution)
 //       --quiet              no progress on stderr
-//   aurv_sweep describe <scenario.json>   parsed spec, job count, first instances
-//   aurv_sweep list                       registered algorithms and samplers
+//   aurv_sweep search <search.json> [options]
+//       --max-shards N       parallel box evaluations per wave (0 = hardware;
+//                            --threads is an alias); a worker cap, never a work
+//                            limiter — it cannot change the result (bound work
+//                            with --max-waves)
+//       --out PATH           certificate JSON artifact (default: stdout)
+//       --incumbent-log PATH incumbent-improvement JSONL, deterministic order
+//       --checkpoint PATH    checkpoint file (enables --resume)
+//       --checkpoint-every K checkpoint every K waves (default 16)
+//       --resume             continue from the checkpoint if it exists
+//       --max-waves K        stop after K waves (incremental execution)
+//       --quiet              no progress on stderr
+//   aurv_sweep describe <spec.json>       parsed spec + first instances (either kind)
+//   aurv_sweep list                       registered algorithms, samplers, objectives
 //
-// The summary JSON is deterministic: identical at any --threads value, and
-// identical whether the campaign ran in one go or across checkpoint/resume
-// cycles.
+// Summary and certificate artifacts are deterministic: identical at any
+// --threads / --max-shards value, and identical whether the run completed
+// in one go or across checkpoint/resume cycles.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -25,6 +38,8 @@
 #include "exp/registry.hpp"
 #include "exp/runner.hpp"
 #include "exp/scenario.hpp"
+#include "exp/search_driver.hpp"
+#include "search/objective.hpp"
 #include "support/parse.hpp"
 
 namespace {
@@ -37,7 +52,10 @@ int usage() {
                "  aurv_sweep run <scenario.json> [--threads N] [--out PATH] [--jsonl PATH]\n"
                "             [--checkpoint PATH] [--checkpoint-every K] [--resume]\n"
                "             [--shard-size K] [--max-shards K] [--quiet]\n"
-               "  aurv_sweep describe <scenario.json>\n"
+               "  aurv_sweep search <search.json> [--max-shards N] [--out PATH]\n"
+               "             [--incumbent-log PATH] [--checkpoint PATH]\n"
+               "             [--checkpoint-every K] [--resume] [--max-waves K] [--quiet]\n"
+               "  aurv_sweep describe <spec.json>\n"
                "  aurv_sweep list\n");
   return 2;
 }
@@ -47,20 +65,98 @@ int cmd_list() {
   for (const std::string& name : exp::algorithm_names()) std::printf(" %s", name.c_str());
   std::printf("\nsamplers:  ");
   for (const std::string& name : exp::sampler_names()) std::printf(" %s", name.c_str());
+  std::printf("\nobjectives:");
+  for (const std::string& name : search::objective_names()) std::printf(" %s", name.c_str());
   std::printf("\n");
   return 0;
 }
 
 int cmd_describe(const std::string& path) {
-  const exp::ScenarioSpec spec = exp::ScenarioSpec::load(path);
-  std::printf("%s", spec.to_json().dump(2).c_str());
-  std::printf("total jobs: %llu\n", static_cast<unsigned long long>(spec.total_jobs()));
-  const std::uint64_t preview = std::min<std::uint64_t>(3, spec.total_jobs());
-  for (std::uint64_t job = 0; job < preview; ++job) {
-    std::printf("job %llu: %s\n", static_cast<unsigned long long>(job),
-                exp::campaign_instance(spec, job).to_string().c_str());
+  // One load + parse; campaign scenario specs have no top-level "kind" field.
+  try {
+    const support::Json json = support::Json::load_file(path);
+    if (json.string_or("kind", "") == "search") {
+      const exp::SearchSpec spec = exp::SearchSpec::from_json(json);
+      std::printf("%s", spec.to_json().dump(2).c_str());
+      const search::ParamBox root = spec.root_box();
+      std::printf("root box width: %s\n", root.width().to_string().c_str());
+      std::printf("root midpoint:  %s\n",
+                  spec.space.instance_at(root.midpoint()).to_string().c_str());
+      return 0;
+    }
+    const exp::ScenarioSpec spec = exp::ScenarioSpec::from_json(json);
+    std::printf("%s", spec.to_json().dump(2).c_str());
+    std::printf("total jobs: %llu\n", static_cast<unsigned long long>(spec.total_jobs()));
+    const std::uint64_t preview = std::min<std::uint64_t>(3, spec.total_jobs());
+    for (std::uint64_t job = 0; job < preview; ++job) {
+      std::printf("job %llu: %s\n", static_cast<unsigned long long>(job),
+                  exp::campaign_instance(spec, job).to_string().c_str());
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    throw std::invalid_argument(path + ": " + error.what());
   }
-  return 0;
+}
+
+int cmd_search(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const std::string spec_path = argv[0];
+  exp::SearchOptions options;
+  std::string out_path;
+  bool quiet = false;
+
+  for (int k = 1; k < argc; ++k) {
+    const std::string flag = argv[k];
+    const auto value = [&]() -> std::string {
+      if (k + 1 >= argc) throw std::invalid_argument(flag + " needs a value");
+      return argv[++k];
+    };
+    // --threads is accepted as an alias: both cap the workers per wave
+    // (the campaign subcommand's spelling), and neither limits work —
+    // that is --max-waves.
+    if (flag == "--max-shards" || flag == "--threads")
+      options.max_shards = support::parse_uint(value(), flag.c_str());
+    else if (flag == "--out") out_path = value();
+    else if (flag == "--incumbent-log") options.incumbent_log_path = value();
+    else if (flag == "--checkpoint") options.checkpoint_path = value();
+    else if (flag == "--checkpoint-every")
+      options.checkpoint_every = support::parse_uint(value(), "--checkpoint-every");
+    else if (flag == "--resume") options.resume = true;
+    else if (flag == "--max-waves")
+      options.max_waves = support::parse_uint(value(), "--max-waves");
+    else if (flag == "--quiet") quiet = true;
+    else {
+      std::fprintf(stderr, "unknown option: %s\n", flag.c_str());
+      return usage();
+    }
+  }
+
+  const exp::SearchSpec spec = exp::SearchSpec::load(spec_path);
+  if (!quiet) {
+    options.progress = [](std::uint64_t evaluated, std::uint64_t open) {
+      std::fprintf(stderr, "\r%llu boxes evaluated, %llu open   ",
+                   static_cast<unsigned long long>(evaluated),
+                   static_cast<unsigned long long>(open));
+    };
+  }
+
+  const exp::SearchRunResult result = exp::run_search(spec, options);
+  if (!quiet) {
+    std::fprintf(stderr, "\r%llu boxes evaluated (%s)          \n",
+                 static_cast<unsigned long long>(result.bnb.stats.evaluated),
+                 result.bnb.exhausted        ? "frontier exhausted"
+                 : result.bnb.budget_reached ? "box budget spent"
+                                             : "stopped by --max-waves");
+  }
+
+  const support::Json certificate = result.certificate(spec);
+  if (out_path.empty()) {
+    std::printf("%s", certificate.dump(2).c_str());
+  } else {
+    certificate.save_file(out_path);
+    if (!quiet) std::fprintf(stderr, "certificate written to %s\n", out_path.c_str());
+  }
+  return result.bnb.complete() ? 0 : 4;  // 4 = stopped early (max_waves)
 }
 
 int cmd_run(int argc, char** argv) {
@@ -135,6 +231,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[1], "list") == 0) return cmd_list();
     if (std::strcmp(argv[1], "describe") == 0 && argc == 3) return cmd_describe(argv[2]);
     if (std::strcmp(argv[1], "run") == 0) return cmd_run(argc - 2, argv + 2);
+    if (std::strcmp(argv[1], "search") == 0) return cmd_search(argc - 2, argv + 2);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 3;

@@ -4,8 +4,12 @@
 // — yet the same instance is solved, with the agents stopping at distance
 // exactly r, by Lemma 3.9's dedicated algorithm.
 //
-//   $ ./boundary_rendezvous
+//   $ ./boundary_rendezvous [t [lateral_offset [r]]]
 //
+// The optional arguments reshape the adversarial geometry: B's wake-up
+// delay t (exact rational, e.g. 5/2), the lateral offset across the
+// canonical line, and the visibility radius. All strictly parsed
+// (support/parse.hpp) — garbage is an error, not a silent zero.
 #include <cstdio>
 
 #include "algo/boundary.hpp"
@@ -13,8 +17,9 @@
 #include "core/almost_universal.hpp"
 #include "core/feasibility.hpp"
 #include "sim/engine.hpp"
+#include "support/parse.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace aurv;
   using numeric::Rational;
 
@@ -26,6 +31,16 @@ int main() {
   adversary.analysis_horizon = 4096;
   adversary.r = 1.0;
   adversary.t = 2;
+  try {
+    if (argc > 1) adversary.t = Rational::from_string(argv[1]);
+    if (argc > 2) adversary.lateral_offset = support::parse_double(argv[2], "lateral_offset");
+    if (argc > 3) adversary.r = support::parse_double(argv[3], "r");
+    if (argc > 4 || adversary.t.is_negative() || adversary.r <= 0.0)
+      throw std::invalid_argument("usage: boundary_rendezvous [t [lateral_offset [r]]]");
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  }
   const core::AdversaryReport report = core::construct_s2_counterexample(universal, adversary);
   std::printf("adversarial instance : %s\n", report.instance.to_string().c_str());
   std::printf("  canonical-line inclination phi/2 = %.6f rad\n", report.chosen_direction);

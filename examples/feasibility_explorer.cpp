@@ -9,11 +9,11 @@
 //     (tau, v, t accept exact rationals like 3/2)
 //
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 
 #include "core/feasibility.hpp"
 #include "geom/angle.hpp"
+#include "support/parse.hpp"
 
 namespace {
 
@@ -34,13 +34,22 @@ int main(int argc, char** argv) {
   using numeric::Rational;
 
   if (argc == 9) {
-    const Instance instance(std::atof(argv[1]), Vec2{std::atof(argv[2]), std::atof(argv[3])},
-                            std::atof(argv[4]), Rational::from_string(argv[5]),
-                            Rational::from_string(argv[6]), Rational::from_string(argv[7]),
-                            std::atoi(argv[8]));
-    std::printf("%s\n", instance.to_string().c_str());
-    show("your instance:", instance);
-    return 0;
+    // Strict numerics (support/parse.hpp): atof/atoi would silently turn a
+    // typo into a different instance instead of an error.
+    try {
+      const Instance instance(
+          support::parse_double(argv[1], "r"),
+          Vec2{support::parse_double(argv[2], "x"), support::parse_double(argv[3], "y")},
+          support::parse_double(argv[4], "phi"), Rational::from_string(argv[5]),
+          Rational::from_string(argv[6]), Rational::from_string(argv[7]),
+          static_cast<int>(support::parse_int(argv[8], "chi")));
+      std::printf("%s\n", instance.to_string().c_str());
+      show("your instance:", instance);
+      return 0;
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "error: %s\n", error.what());
+      return 3;
+    }
   }
   if (argc != 1) {
     std::fprintf(stderr, "usage: %s [r x y phi tau v t chi]\n", argv[0]);

@@ -4,28 +4,49 @@
 // one fixed geometry and simulates our Latecomers procedure (the [38]
 // substitute) on each instance.
 //
-//   $ ./latecomers_demo
+//   $ ./latecomers_demo [x y [r]]
 //
+// The optional arguments move B's start (and the visibility radius) so the
+// sweep crosses a different boundary t* = dist - r. Strictly parsed
+// (support/parse.hpp) — garbage is an error, not a silent zero.
 #include <cstdio>
 
 #include "algo/latecomers.hpp"
 #include "core/feasibility.hpp"
 #include "sim/engine.hpp"
+#include "support/parse.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace aurv;
   using agents::Instance;
   using numeric::Rational;
 
-  const geom::Vec2 b{1.5, 0.0};
-  const double r = 1.0;  // boundary at t = dist - r = 0.5
+  geom::Vec2 b{1.5, 0.0};
+  double r = 1.0;  // boundary at t = dist - r = 0.5
+  try {
+    if (argc != 1 && argc != 3 && argc != 4)
+      throw std::invalid_argument("usage: latecomers_demo [x y [r]]");
+    if (argc >= 3)
+      b = {support::parse_double(argv[1], "x"), support::parse_double(argv[2], "y")};
+    if (argc == 4) r = support::parse_double(argv[3], "r");
+    if (r <= 0.0 || b.norm() <= r)
+      throw std::invalid_argument("need r > 0 and dist(b) > r (a non-trivial boundary)");
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  }
+  // The sweep is expressed in multiples of t* so it crosses *this*
+  // geometry's boundary; t* is the exact rational matching the double
+  // dist - r, so the m = 1 row lands on the boundary up to the rounding
+  // already inherent in dist.
+  const Rational t_star = Rational::from_double(b.norm() - r);
   std::printf("Geometry: B at (%.1f, %.1f), dist = %.2f, r = %.2f  =>  boundary t* = %.2f\n\n",
-              b.x, b.y, b.norm(), r, b.norm() - r);
+              b.x, b.y, b.norm(), r, t_star.to_double());
   std::printf("%-8s %-15s %-10s %-12s %-12s\n", "t", "kind", "met", "meet time", "min dist");
 
-  for (const char* t_text : {"0", "1/4", "1/2", "3/4", "1", "2", "4", "8"}) {
-    const Instance instance =
-        Instance::synchronous(r, b, 0.0, Rational::from_string(t_text), 1);
+  for (const char* multiple_text : {"0", "1/2", "1", "3/2", "2", "4", "8", "16"}) {
+    const Rational t = t_star * Rational::from_string(multiple_text);
+    const Instance instance = Instance::synchronous(r, b, 0.0, t, 1);
     const core::Classification c = core::classify(instance);
 
     sim::EngineConfig config;
@@ -36,7 +57,7 @@ int main() {
     const sim::SimResult result =
         sim::Engine(instance, config).run([] { return algo::latecomers(); });
 
-    std::printf("%-8s %-15s %-10s ", t_text, core::to_string(c.kind).c_str(),
+    std::printf("%-8.4g %-15s %-10s ", t.to_double(), core::to_string(c.kind).c_str(),
                 result.met ? "yes" : "no");
     if (result.met) {
       std::printf("%-12.4f %-12.4f\n", result.meet_time, result.final_distance);
@@ -46,13 +67,14 @@ int main() {
   }
 
   std::printf(
-      "\nReading: below t* = 0.5 the later agent cannot compensate the shift —\n"
-      "the closest approach stays pinned at dist - t > r. From t* on, the first\n"
-      "eastward trip already closes the gap (B is still asleep) at time 0.5.\n"
-      "The t = t* row sits in the exception set S1 and meets here only because\n"
-      "this B happens to lie exactly on one of Latecomers' directions: meeting\n"
-      "on the boundary requires a full-speed straight run aimed *exactly* at B,\n"
-      "and ./boundary_rendezvous shows how an adversary aims the geometry into\n"
-      "a direction gap to defeat any fixed algorithm on S1/S2.\n");
+      "\nReading: below t* = %.4g the later agent cannot compensate the shift —\n"
+      "the closest approach stays pinned at dist - t > r; from t* on the\n"
+      "instance is feasible. The t = t* row sits on the feasibility boundary\n"
+      "(the exception set S1, up to the double rounding of dist): meeting there\n"
+      "requires a full-speed straight run aimed *exactly* at B, so it succeeds\n"
+      "only when B happens to lie on one of Latecomers' directions — and\n"
+      "./boundary_rendezvous shows how an adversary aims the geometry into\n"
+      "a direction gap to defeat any fixed algorithm on S1/S2.\n",
+      t_star.to_double());
   return 0;
 }

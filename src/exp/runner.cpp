@@ -1,8 +1,6 @@
 #include "exp/runner.hpp"
 
 #include <algorithm>
-#include <cinttypes>
-#include <cstdio>
 #include <filesystem>
 #include <map>
 #include <mutex>
@@ -11,6 +9,7 @@
 
 #include "exp/registry.hpp"
 #include "support/check.hpp"
+#include "support/jsonl.hpp"
 #include "support/parallel.hpp"
 
 namespace aurv::exp {
@@ -18,12 +17,6 @@ namespace aurv::exp {
 using support::Json;
 
 namespace {
-
-std::string fingerprint_hex(const ScenarioSpec& spec) {
-  char buffer[24];
-  std::snprintf(buffer, sizeof buffer, "%016" PRIx64, spec.fingerprint());
-  return buffer;
-}
 
 /// One line per run, compact JSON, numbers exactly as in the summary.
 std::string jsonl_record(std::uint64_t job, const sim::SimResult& result) {
@@ -48,7 +41,7 @@ Json checkpoint_to_json(const ScenarioSpec& spec, const CampaignOptions& options
   Json json = Json::object();
   json.set("schema", Json(std::uint64_t{1}));
   json.set("kind", Json("campaign-checkpoint"));
-  json.set("fingerprint", Json(fingerprint_hex(spec)));
+  json.set("fingerprint", Json(support::fingerprint_hex(spec.fingerprint())));
   json.set("shard_size", Json(static_cast<std::uint64_t>(options.shard_size)));
   json.set("jsonl_path", Json(options.jsonl_path));
   json.set("completed_shards", Json(state.completed_shards));
@@ -61,7 +54,7 @@ CheckpointState checkpoint_from_json(const Json& json, const ScenarioSpec& spec,
                                      const CampaignOptions& options) {
   if (json.string_or("kind", "") != "campaign-checkpoint")
     throw std::invalid_argument("checkpoint: not a campaign-checkpoint file");
-  if (json.at("fingerprint").as_string() != fingerprint_hex(spec))
+  if (json.at("fingerprint").as_string() != support::fingerprint_hex(spec.fingerprint()))
     throw std::invalid_argument(
         "checkpoint: scenario fingerprint mismatch (spec edited since the checkpoint "
         "was written; delete the checkpoint to start over)");
@@ -78,64 +71,6 @@ CheckpointState checkpoint_from_json(const Json& json, const ScenarioSpec& spec,
   state.aggregate = CampaignAggregate::from_json(json.at("aggregate"));
   return state;
 }
-
-void write_checkpoint_atomically(const std::string& path, const Json& json) {
-  const std::string tmp = path + ".tmp";
-  json.save_file(tmp);
-  std::filesystem::rename(tmp, path);
-}
-
-/// RAII append-mode sink for the JSONL stream.
-class JsonlSink {
- public:
-  JsonlSink(const std::string& path, std::uint64_t resume_bytes) {
-    if (path.empty()) return;
-    if (resume_bytes > 0) {
-      // Drop any records past the checkpoint (written after it, lost to the
-      // interruption) so the stream continues seamlessly from the prefix.
-      // A file *shorter* than the checkpoint offset means the stream and
-      // the checkpoint are out of sync (crash before the flush reached
-      // disk, or a stale file restored next to a newer checkpoint);
-      // resize_file would silently pad the hole with NUL bytes, so refuse.
-      std::error_code ec;
-      const std::uintmax_t existing = std::filesystem::file_size(path, ec);
-      if (ec || existing < resume_bytes)
-        throw std::invalid_argument(
-            "jsonl: " + path + " is shorter than the checkpoint's recorded offset (" +
-            std::to_string(resume_bytes) +
-            " bytes); the stream does not match this checkpoint — delete both to start over");
-      std::filesystem::resize_file(path, resume_bytes, ec);
-      if (ec)
-        throw std::invalid_argument("jsonl: cannot truncate " + path + " for resume: " +
-                                    ec.message());
-      file_ = std::fopen(path.c_str(), "ab");
-    } else {
-      file_ = std::fopen(path.c_str(), "wb");
-    }
-    if (file_ == nullptr) throw std::invalid_argument("jsonl: cannot open " + path);
-    bytes_ = resume_bytes;
-  }
-  ~JsonlSink() {
-    if (file_ != nullptr) std::fclose(file_);
-  }
-  JsonlSink(const JsonlSink&) = delete;
-  JsonlSink& operator=(const JsonlSink&) = delete;
-
-  void append(const std::string& text) {
-    if (file_ == nullptr) return;
-    if (std::fwrite(text.data(), 1, text.size(), file_) != text.size())
-      throw std::runtime_error("jsonl: write failed");
-    bytes_ += text.size();
-  }
-  void flush() {
-    if (file_ != nullptr) std::fflush(file_);
-  }
-  [[nodiscard]] std::uint64_t bytes() const noexcept { return bytes_; }
-
- private:
-  std::FILE* file_ = nullptr;
-  std::uint64_t bytes_ = 0;
-};
 
 }  // namespace
 
@@ -195,8 +130,8 @@ CampaignResult run_campaign(const ScenarioSpec& spec, const CampaignOptions& opt
   if (options.max_shards > 0)
     end_shard = std::min(end_shard, start_shard + options.max_shards);
 
-  JsonlSink jsonl(options.jsonl_path,
-                  start_shard > 0 ? state.jsonl_bytes : 0);
+  support::JsonlSink jsonl(options.jsonl_path,
+                           start_shard > 0 ? state.jsonl_bytes : 0);
 
   struct ShardOutput {
     CampaignAggregate aggregate;
@@ -247,8 +182,8 @@ CampaignResult run_campaign(const ScenarioSpec& spec, const CampaignOptions& opt
     if (!options.checkpoint_path.empty() &&
         ((shard + 1) % options.checkpoint_every == 0 || shard + 1 == total_shards)) {
       jsonl.flush();
-      write_checkpoint_atomically(options.checkpoint_path,
-                                  checkpoint_to_json(spec, options, state));
+      support::save_json_atomically(options.checkpoint_path,
+                                    checkpoint_to_json(spec, options, state));
     }
     if (options.progress) {
       const auto [lo, hi] = job_range(shard);
@@ -271,8 +206,8 @@ CampaignResult run_campaign(const ScenarioSpec& spec, const CampaignOptions& opt
   result.complete = state.completed_shards == total_shards;
   if (!result.complete && !options.checkpoint_path.empty()) {
     jsonl.flush();
-    write_checkpoint_atomically(options.checkpoint_path,
-                                checkpoint_to_json(spec, options, state));
+    support::save_json_atomically(options.checkpoint_path,
+                                  checkpoint_to_json(spec, options, state));
   }
 
   result.aggregate = state.aggregate;

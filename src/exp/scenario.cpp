@@ -203,8 +203,10 @@ ScenarioSpec ScenarioSpec::load(const std::string& path) {
 
 void ScenarioSpec::save(const std::string& path) const { to_json().save_file(path); }
 
-std::uint64_t ScenarioSpec::fingerprint() const {
-  const std::string canonical = to_json().dump();
+namespace {
+
+std::uint64_t fnv1a_fingerprint(const Json& json) {
+  const std::string canonical = json.dump();
   std::uint64_t hash = 1469598103934665603ull;  // FNV-1a 64
   for (const char c : canonical) {
     hash ^= static_cast<unsigned char>(c);
@@ -212,5 +214,130 @@ std::uint64_t ScenarioSpec::fingerprint() const {
   }
   return hash;
 }
+
+}  // namespace
+
+std::uint64_t ScenarioSpec::fingerprint() const { return fnv1a_fingerprint(to_json()); }
+
+// -------------------------------------------------------------- SearchSpec --
+
+SearchSpec SearchSpec::from_json(const Json& json) {
+  check_keys(json,
+             {"schema", "kind", "name", "description", "algorithm", "objective", "space",
+              "budget", "engine"},
+             "search spec");
+  const std::uint64_t schema = json.uint_or("schema", 1);
+  if (schema != 1)
+    throw std::invalid_argument("search spec: unsupported schema " + std::to_string(schema));
+  if (json.string_or("kind", "") != "search")
+    throw std::invalid_argument("search spec: \"kind\" must be \"search\"");
+
+  SearchSpec spec;
+  spec.name = json.string_or("name", "");
+  spec.description = json.string_or("description", "");
+  spec.algorithm = json.string_or("algorithm", "aurv");
+  spec.objective = json.string_or("objective", "max-meet-time");
+
+  const Json& space = json.at("space");
+  check_keys(space, {"family", "chi", "fixed", "box"}, "space");
+  spec.space.family = search::SearchSpace::family_from_string(space.at("family").as_string());
+  if (const Json* chi = space.find("chi")) {
+    if (spec.space.family != search::SearchSpace::Family::Tuple)
+      throw std::invalid_argument(
+          "search spec: space.chi only applies to the tuple family (boundary families pin "
+          "it)");
+    spec.space.chi = static_cast<int>(chi->as_int());
+  }
+  if (const Json* fixed = space.find("fixed")) {
+    for (const auto& [name, value] : fixed->as_object())
+      spec.space.fixed.emplace_back(name, rational_from(value, name.c_str()));
+  }
+  for (const auto& [name, ends] : space.at("box").as_object()) {
+    const Json::Array& pair = ends.as_array();
+    if (pair.size() != 2)
+      throw std::invalid_argument("search spec: space.box." + name +
+                                  " must be a [lo, hi] pair");
+    spec.space.dim_names.push_back(name);
+    spec.box.push_back(search::Interval{rational_from(pair[0], name.c_str()),
+                                        rational_from(pair[1], name.c_str())});
+    if (spec.box.back().lo > spec.box.back().hi)
+      throw std::invalid_argument("search spec: space.box." + name + " has lo > hi");
+  }
+  spec.space.validate();
+
+  if (const Json* budget = json.find("budget")) {
+    check_keys(*budget, {"max_boxes", "wave_size", "min_width", "min_improvement"}, "budget");
+    spec.limits.max_boxes = budget->uint_or("max_boxes", spec.limits.max_boxes);
+    spec.limits.wave_size = budget->uint_or("wave_size", spec.limits.wave_size);
+    if (const Json* width = budget->find("min_width"))
+      spec.limits.min_width = rational_from(*width, "min_width");
+    spec.limits.min_improvement =
+        budget->number_or("min_improvement", spec.limits.min_improvement);
+    if (spec.limits.max_boxes == 0)
+      throw std::invalid_argument("search spec: budget.max_boxes must be >= 1");
+    if (spec.limits.wave_size == 0)
+      throw std::invalid_argument("search spec: budget.wave_size must be >= 1");
+    if (spec.limits.min_width.is_negative())
+      throw std::invalid_argument("search spec: budget.min_width must be >= 0");
+  }
+
+  if (const Json* engine = json.find("engine")) spec.engine = engine_from(*engine);
+
+  // Fail at load time, not at box 0: the algorithm must resolve and the
+  // objective must accept the space (e.g. boundary-distance rejects
+  // non-synchronous tuple spaces).
+  (void)search::make_objective(spec.objective, spec.space, resolve_algorithm(spec.algorithm),
+                               spec.engine);
+  return spec;
+}
+
+Json SearchSpec::to_json() const {
+  Json json = Json::object();
+  json.set("schema", Json(std::uint64_t{1}));
+  json.set("kind", Json("search"));
+  json.set("name", Json(name));
+  if (!description.empty()) json.set("description", Json(description));
+  json.set("algorithm", Json(algorithm));
+  json.set("objective", Json(objective));
+  Json space_json = Json::object();
+  space_json.set("family", Json(search::SearchSpace::to_string(space.family)));
+  if (space.family == search::SearchSpace::Family::Tuple)
+    space_json.set("chi", Json(space.chi));
+  if (!space.fixed.empty()) {
+    Json fixed_json = Json::object();
+    for (const auto& [fixed_name, value] : space.fixed)
+      fixed_json.set(fixed_name, rational_to(value));
+    space_json.set("fixed", std::move(fixed_json));
+  }
+  Json box_json = Json::object();
+  for (std::size_t k = 0; k < space.dim_names.size(); ++k) {
+    Json pair = Json::array();
+    pair.push_back(rational_to(box[k].lo));
+    pair.push_back(rational_to(box[k].hi));
+    box_json.set(space.dim_names[k], std::move(pair));
+  }
+  space_json.set("box", std::move(box_json));
+  json.set("space", std::move(space_json));
+  Json budget = Json::object();
+  budget.set("max_boxes", Json(limits.max_boxes));
+  budget.set("wave_size", Json(limits.wave_size));
+  budget.set("min_width", rational_to(limits.min_width));
+  budget.set("min_improvement", Json(limits.min_improvement));
+  json.set("budget", std::move(budget));
+  json.set("engine", engine_to(engine));
+  return json;
+}
+
+SearchSpec SearchSpec::load(const std::string& path) {
+  try {
+    return from_json(Json::load_file(path));
+  } catch (const std::exception& error) {
+    throw std::invalid_argument(path + ": " + error.what());
+  }
+}
+
+void SearchSpec::save(const std::string& path) const { to_json().save_file(path); }
+
+std::uint64_t SearchSpec::fingerprint() const { return fnv1a_fingerprint(to_json()); }
 
 }  // namespace aurv::exp

@@ -40,6 +40,9 @@
 
 #include "agents/instance.hpp"
 #include "agents/sampler.hpp"
+#include "search/bnb.hpp"
+#include "search/box.hpp"
+#include "search/objective.hpp"
 #include "sim/engine.hpp"
 #include "support/json.hpp"
 
@@ -79,6 +82,70 @@ struct ScenarioSpec {
   /// FNV-1a over the canonical serialization — checkpoints store it so a
   /// resume against an edited spec is refused instead of merging apples
   /// into oranges.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+};
+
+/// SearchSpec — the declarative description of a worst-case search: a
+/// branch-and-bound over a parameter box of the adversary's instance space
+/// (src/search/), as data in a scenarios/search_*.json file.
+///
+/// Schema (see EXPERIMENTS.md for the prose version):
+///
+///   {
+///     "schema": 1,
+///     "kind": "search",                     // distinguishes from campaigns
+///     "name": "s2_near_miss",
+///     "description": "optional free text",
+///     "algorithm": "aurv",                  // exp::algorithm_names()
+///     "objective": "near-miss",             // search::objective_names()
+///     "space": {
+///       "family": "boundary-s2",            // tuple | boundary-s1 | boundary-s2
+///       // "chi": -1,                       // tuple family only; boundary
+///       //                                  // families pin it (field rejected)
+///       "fixed": { "r": 1, "t": 2 },        // pinned params (exact rationals)
+///       "box": { "half_phi": [0, "157/100"] }  // searched dims -> [lo, hi]
+///     },
+///     "budget": {                           // all optional
+///       "max_boxes": 512,                   // evaluation budget
+///       "wave_size": 16,                    // boxes per deterministic wave
+///       "min_width": "1/1024",              // leaf resolution
+///       "min_improvement": 0                // pruning margin
+///     },
+///     "engine": { "horizon": "256", ... }   // same block as campaign specs
+///   }
+///
+/// Box dimension order is the order of the "box" object's keys; every
+/// rational field accepts "a/b" strings or JSON numbers (exact via
+/// Rational::from_double). Parsing is strict: unknown keys, unknown
+/// objective/algorithm/family names and ill-formed spaces are load-time
+/// errors — including objective-space constraint violations (surfaced by
+/// constructing the objective once at load).
+struct SearchSpec {
+  std::string name;
+  std::string description;
+  std::string algorithm = "aurv";
+  std::string objective = "max-meet-time";
+
+  search::SearchSpace space;
+  /// Root intervals, one per space.dim_names entry (same order).
+  std::vector<search::Interval> box;
+  search::BnbLimits limits;
+
+  sim::EngineConfig engine;
+
+  /// The root of the canonical refinement tree.
+  [[nodiscard]] search::ParamBox root_box() const { return search::ParamBox(box); }
+
+  /// Strict parse; throws support::JsonError / std::invalid_argument naming
+  /// the offending field.
+  [[nodiscard]] static SearchSpec from_json(const support::Json& json);
+  [[nodiscard]] support::Json to_json() const;
+
+  [[nodiscard]] static SearchSpec load(const std::string& path);
+  void save(const std::string& path) const;
+
+  /// FNV-1a over the canonical serialization; search checkpoints store it
+  /// so resuming an edited spec is refused.
   [[nodiscard]] std::uint64_t fingerprint() const;
 };
 

@@ -1,0 +1,40 @@
+#include "exp/search_driver.hpp"
+
+#include "exp/registry.hpp"
+#include "search/objective.hpp"
+#include "support/jsonl.hpp"
+
+namespace aurv::exp {
+
+using support::Json;
+
+Json SearchRunResult::certificate(const SearchSpec& spec) const {
+  Json json = Json::object();
+  json.set("schema", Json(std::uint64_t{1}));
+  json.set("kind", Json("search-certificate"));
+  json.set("scenario", spec.to_json());
+  json.set("search", bnb.to_json());
+  return json;
+}
+
+SearchRunResult run_search(const SearchSpec& spec, const SearchOptions& options) {
+  const std::unique_ptr<search::Objective> objective = search::make_objective(
+      spec.objective, spec.space, resolve_algorithm(spec.algorithm), spec.engine);
+
+  search::BnbOptions bnb_options;
+  bnb_options.max_shards = options.max_shards;
+  bnb_options.incumbent_log_path = options.incumbent_log_path;
+  bnb_options.checkpoint_path = options.checkpoint_path;
+  bnb_options.checkpoint_every = options.checkpoint_every;
+  bnb_options.resume = options.resume;
+  bnb_options.max_waves = options.max_waves;
+  bnb_options.fingerprint = support::fingerprint_hex(spec.fingerprint());
+  bnb_options.dim_names = spec.space.dim_names;
+  bnb_options.progress = options.progress;
+
+  SearchRunResult result;
+  result.bnb = search::run_bnb(spec.root_box(), *objective, spec.limits, bnb_options);
+  return result;
+}
+
+}  // namespace aurv::exp

@@ -1,0 +1,56 @@
+// Executes a SearchSpec: resolves the algorithm and the objective from the
+// registries, roots the canonical refinement tree at the spec's box and
+// drives search::run_bnb, wrapping the outcome into the search-certificate
+// artifact.
+//
+// The certificate depends only on the spec: it is byte-identical at any
+// --max-shards value and byte-identical whether the search ran in one go
+// or across checkpoint/resume cycles — the same guarantee the campaign
+// runner gives for summaries, extended to branch-and-bound.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "exp/scenario.hpp"
+#include "search/bnb.hpp"
+#include "support/json.hpp"
+
+namespace aurv::exp {
+
+struct SearchOptions {
+  /// Worker cap per wave (0 = hardware). Never changes the result.
+  std::size_t max_shards = 0;
+
+  /// JSONL stream of incumbent improvements, in deterministic order.
+  std::string incumbent_log_path;
+
+  /// Checkpoint file enabling resume. Empty = off.
+  std::string checkpoint_path;
+  std::size_t checkpoint_every = 16;
+  bool resume = false;
+
+  /// Stop after this many waves in *this* invocation (0 = run to the end).
+  std::size_t max_waves = 0;
+
+  /// Progress hook: (boxes_evaluated, open_boxes) after each wave.
+  std::function<void(std::uint64_t, std::uint64_t)> progress;
+};
+
+struct SearchRunResult {
+  search::BnbResult bnb;
+
+  /// The certificate artifact:
+  ///   { "schema": 1, "kind": "search-certificate",
+  ///     "scenario": <spec>, "search": <incumbent/stats/frontier residual> }
+  [[nodiscard]] support::Json certificate(const SearchSpec& spec) const;
+};
+
+/// Runs (or resumes) the search described by `spec`. Throws
+/// std::invalid_argument for spec/option/checkpoint mismatches and
+/// support::JsonError for unreadable artifacts.
+[[nodiscard]] SearchRunResult run_search(const SearchSpec& spec,
+                                         const SearchOptions& options = {});
+
+}  // namespace aurv::exp

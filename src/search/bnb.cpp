@@ -1,0 +1,392 @@
+#include "search/bnb.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <limits>
+#include <set>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/jsonl.hpp"
+#include "support/parallel.hpp"
+
+namespace aurv::search {
+
+using numeric::Rational;
+using support::Json;
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Bounds can be +/-infinity, which JSON numbers cannot hold; serialize the
+/// infinities as the strings "inf"/"-inf" and round-trip doubles exactly.
+Json bound_to_json(double bound) {
+  if (std::isinf(bound)) return Json(bound > 0 ? "inf" : "-inf");
+  return Json(bound);
+}
+
+double bound_from_json(const Json& json) {
+  if (json.is_string()) {
+    if (json.as_string() == "inf") return kInf;
+    if (json.as_string() == "-inf") return -kInf;
+    // Anything else is corruption; silently mapping it to -inf would prune
+    // the box and still emit a "complete" certificate.
+    throw support::JsonError("bound: expected a number, \"inf\" or \"-inf\", got \"" +
+                             json.as_string() + "\"");
+  }
+  return json.as_number();
+}
+
+std::string dim_label(const std::vector<std::string>& names, std::size_t index) {
+  if (index < names.size()) return names[index];
+  std::string label = "d";  // two statements sidestep a GCC 12 -Wrestrict
+  label += std::to_string(index);  // false positive on operator+(const char*, string&&)
+  return label;
+}
+
+Json point_to_json(const std::vector<Rational>& point, const std::vector<std::string>& names) {
+  Json json = Json::object();
+  for (std::size_t k = 0; k < point.size(); ++k)
+    json.set(dim_label(names, k), Json(point[k].to_string()));
+  return json;
+}
+
+std::vector<Rational> point_from_json(const Json& json, const std::vector<std::string>& names,
+                                      std::size_t dim_count) {
+  std::vector<Rational> point;
+  for (const auto& [name, value] : json.as_object()) {
+    // Order in the object is dimension order; a renamed or reordered key
+    // would otherwise silently permute coordinates across dimensions.
+    const std::string expected = dim_label(names, point.size());
+    if (name != expected)
+      throw support::JsonError("point: expected dimension \"" + expected + "\", got \"" +
+                               name + "\" (corrupted or hand-edited checkpoint)");
+    point.push_back(Rational::from_string(value.as_string()));
+  }
+  if (point.size() != dim_count)
+    throw support::JsonError("point: expected " + std::to_string(dim_count) +
+                             " dimensions, got " + std::to_string(point.size()) +
+                             " (corrupted or hand-edited checkpoint)");
+  return point;
+}
+
+Json incumbent_to_json(const Incumbent& incumbent, const std::vector<std::string>& names) {
+  Json json = Json::object();
+  json.set("score", Json(incumbent.score));
+  json.set("box", Json(incumbent.box_id));
+  json.set("found_at_box", Json(incumbent.found_at_box));
+  json.set("point", point_to_json(incumbent.point, names));
+  json.set("evaluation", incumbent.evaluation.to_json());
+  return json;
+}
+
+Incumbent incumbent_from_json(const Json& json, const std::vector<std::string>& names,
+                              std::size_t dim_count) {
+  Incumbent incumbent;
+  incumbent.found = true;
+  incumbent.score = json.at("score").as_number();
+  incumbent.box_id = json.at("box").as_string();
+  incumbent.found_at_box = json.at("found_at_box").as_uint();
+  incumbent.point = point_from_json(json.at("point"), names, dim_count);
+  incumbent.evaluation = Evaluation::from_json(json.at("evaluation"));
+  return incumbent;
+}
+
+Json stats_to_json(const BnbStats& stats) {
+  Json json = Json::object();
+  json.set("evaluated", Json(stats.evaluated));
+  json.set("pruned", Json(stats.pruned));
+  json.set("branched", Json(stats.branched));
+  json.set("leaves", Json(stats.leaves));
+  json.set("waves", Json(stats.waves));
+  json.set("max_frontier", Json(stats.max_frontier));
+  json.set("improvements", Json(stats.improvements));
+  return json;
+}
+
+BnbStats stats_from_json(const Json& json) {
+  BnbStats stats;
+  stats.evaluated = json.at("evaluated").as_uint();
+  stats.pruned = json.at("pruned").as_uint();
+  stats.branched = json.at("branched").as_uint();
+  stats.leaves = json.at("leaves").as_uint();
+  stats.waves = json.at("waves").as_uint();
+  stats.max_frontier = json.at("max_frontier").as_uint();
+  stats.improvements = json.at("improvements").as_uint();
+  return stats;
+}
+
+/// One frontier entry: a box and its (cached) objective bound.
+struct OpenBox {
+  ParamBox box;
+  double bound;
+};
+
+/// Best-first, deterministic total order: bound descending, then the
+/// refinement-tree path ascending (paths are unique, so this never ties).
+struct FrontierOrder {
+  bool operator()(const OpenBox& a, const OpenBox& b) const {
+    if (a.bound != b.bound) return a.bound > b.bound;
+    return a.box.id() < b.box.id();
+  }
+};
+
+using Frontier = std::set<OpenBox, FrontierOrder>;
+
+struct SearchState {
+  Frontier frontier;
+  Incumbent incumbent;
+  BnbStats stats;
+  std::uint64_t log_bytes = 0;
+};
+
+Json checkpoint_to_json(const SearchState& state, const ParamBox& root,
+                        const Objective& objective, const BnbLimits& limits,
+                        const BnbOptions& options) {
+  Json json = Json::object();
+  json.set("schema", Json(std::uint64_t{1}));
+  json.set("kind", Json("search-checkpoint"));
+  json.set("fingerprint", Json(options.fingerprint));
+  json.set("root", root.to_json());
+  json.set("objective", objective.descriptor());
+  json.set("wave_size", Json(limits.wave_size));
+  json.set("max_boxes", Json(limits.max_boxes));
+  json.set("min_width", Json(limits.min_width.to_string()));
+  json.set("min_improvement", Json(limits.min_improvement));
+  json.set("incumbent_log_path", Json(options.incumbent_log_path));
+  json.set("log_bytes", Json(state.log_bytes));
+  json.set("stats", stats_to_json(state.stats));
+  json.set("incumbent", state.incumbent.found
+                            ? incumbent_to_json(state.incumbent, options.dim_names)
+                            : Json());
+  Json frontier_json = Json::array();
+  for (const OpenBox& open : state.frontier) {
+    Json entry = open.box.to_json();
+    entry.set("bound", bound_to_json(open.bound));
+    frontier_json.push_back(std::move(entry));
+  }
+  json.set("frontier", std::move(frontier_json));
+  return json;
+}
+
+SearchState checkpoint_from_json(const Json& json, const ParamBox& root,
+                                 const Objective& objective, const BnbLimits& limits,
+                                 const BnbOptions& options) {
+  if (json.string_or("kind", "") != "search-checkpoint")
+    throw std::invalid_argument("checkpoint: not a search-checkpoint file");
+  if (json.at("fingerprint").as_string() != options.fingerprint)
+    throw std::invalid_argument(
+        "checkpoint: search fingerprint mismatch (spec edited since the checkpoint was "
+        "written; delete the checkpoint to start over)");
+  // The spec fingerprint covers these for exp::run_search, but direct
+  // run_bnb callers may leave it empty — guard the search identity itself
+  // (root box plus the objective's full construction descriptor) so a
+  // stale checkpoint can never seed a different search.
+  if (!(json.at("root") == root.to_json()) ||
+      !(json.at("objective") == objective.descriptor()))
+    throw std::invalid_argument(
+        "checkpoint: root box or objective mismatch with the running search (stale "
+        "checkpoint from a different search; delete it to start over)");
+  if (json.at("wave_size").as_uint() != limits.wave_size ||
+      json.at("max_boxes").as_uint() != limits.max_boxes ||
+      Rational::from_string(json.at("min_width").as_string()) != limits.min_width ||
+      json.at("min_improvement").as_number() != limits.min_improvement)
+    throw std::invalid_argument("checkpoint: budget mismatch with the running search");
+  if (json.at("incumbent_log_path").as_string() != options.incumbent_log_path)
+    throw std::invalid_argument(
+        "checkpoint: --incumbent-log path differs from the original run's (\"" +
+        json.at("incumbent_log_path").as_string() +
+        "\"); resuming would truncate the wrong file");
+  SearchState state;
+  state.log_bytes = json.at("log_bytes").as_uint();
+  state.stats = stats_from_json(json.at("stats"));
+  if (!json.at("incumbent").is_null())
+    state.incumbent =
+        incumbent_from_json(json.at("incumbent"), options.dim_names, root.dim_count());
+  for (const Json& entry : json.at("frontier").as_array()) {
+    state.frontier.insert(
+        OpenBox{ParamBox::from_json(entry), bound_from_json(entry.at("bound"))});
+  }
+  return state;
+}
+
+/// One line per incumbent improvement: progress counters, the box, the
+/// exact point, then the full evaluation record.
+std::string improvement_record(const Incumbent& incumbent,
+                               const std::vector<std::string>& names) {
+  Json record = Json::object();
+  record.set("boxes_evaluated", Json(incumbent.found_at_box));
+  record.set("box", Json(incumbent.box_id));
+  record.set("point", point_to_json(incumbent.point, names));
+  Json evaluation = incumbent.evaluation.to_json();
+  for (auto& [key, value] : evaluation.as_object()) record.set(key, std::move(value));
+  return record.dump() + "\n";
+}
+
+}  // namespace
+
+Json BnbResult::to_json() const {
+  Json json = Json::object();
+  json.set("incumbent", incumbent.found ? incumbent_to_json(incumbent, dim_names) : Json());
+  json.set("stats", stats_to_json(stats));
+  json.set("complete", Json(complete()));
+  json.set("exhausted", Json(exhausted));
+  json.set("budget_reached", Json(budget_reached));
+  json.set("open_boxes", Json(open_boxes));
+  json.set("frontier_bound", open_boxes > 0 ? bound_to_json(frontier_bound) : Json());
+  if (incumbent.found && open_boxes > 0 && std::isfinite(frontier_bound))
+    json.set("gap", Json(std::max(0.0, frontier_bound - incumbent.score)));
+  return json;
+}
+
+BnbResult run_bnb(const ParamBox& root, const Objective& objective, const BnbLimits& limits,
+                  const BnbOptions& options) {
+  AURV_CHECK_MSG(limits.wave_size >= 1, "wave_size must be >= 1");
+  AURV_CHECK_MSG(limits.max_boxes >= 1, "max_boxes must be >= 1");
+  AURV_CHECK_MSG(options.checkpoint_every >= 1, "checkpoint_every must be >= 1");
+  AURV_CHECK_MSG(options.dim_names.empty() || options.dim_names.size() == root.dim_count(),
+                 "dim_names must match the root box dimensions");
+
+  SearchState state;
+  bool resumed = false;
+  if (options.resume && !options.checkpoint_path.empty() &&
+      std::filesystem::exists(options.checkpoint_path)) {
+    state = checkpoint_from_json(Json::load_file(options.checkpoint_path), root, objective,
+                                 limits, options);
+    resumed = true;
+  } else {
+    const double root_bound = objective.bound(root);
+    AURV_CHECK_MSG(!std::isnan(root_bound), "objective bound must not be NaN");
+    if (root_bound == -kInf) {
+      ++state.stats.pruned;  // the entire space is provably scoreless
+    } else {
+      state.frontier.insert(OpenBox{root, root_bound});
+      state.stats.max_frontier = 1;
+    }
+  }
+
+  support::JsonlSink log(options.incumbent_log_path, resumed ? state.log_bytes : 0);
+
+  // A box survives only if its bound can still beat the incumbent.
+  const auto prunable = [&](double bound) {
+    if (bound == -kInf) return true;
+    return state.incumbent.found && bound <= state.incumbent.score + limits.min_improvement;
+  };
+
+  const auto write_checkpoint = [&] {
+    if (options.checkpoint_path.empty()) return;
+    log.flush();
+    state.log_bytes = log.bytes();
+    support::save_json_atomically(options.checkpoint_path,
+                                  checkpoint_to_json(state, root, objective, limits, options));
+  };
+
+  std::uint64_t waves_this_invocation = 0;
+
+  while (true) {
+    if (state.stats.evaluated >= limits.max_boxes || state.frontier.empty()) break;
+    if (options.max_waves > 0 && waves_this_invocation >= options.max_waves) break;
+
+    // Assemble the wave: pop best-first, dropping boxes that can no longer
+    // beat the incumbent. Wave size is spec-fixed — never thread-derived.
+    std::vector<OpenBox> wave;
+    const std::uint64_t budget_left = limits.max_boxes - state.stats.evaluated;
+    const std::uint64_t target = std::min<std::uint64_t>(limits.wave_size, budget_left);
+    while (wave.size() < target && !state.frontier.empty()) {
+      OpenBox open = *state.frontier.begin();
+      state.frontier.erase(state.frontier.begin());
+      if (prunable(open.bound)) {
+        ++state.stats.pruned;
+        continue;
+      }
+      wave.push_back(std::move(open));
+    }
+    if (wave.empty()) continue;  // frontier drained by pruning; loop re-checks
+
+    // Parallel part: evaluate midpoints and pre-compute child boxes/bounds.
+    // Each shard writes only its own slot; all cross-shard state mutation
+    // happens in the in-order completion hook below.
+    struct ShardOutput {
+      std::vector<Rational> point;
+      Evaluation evaluation;
+      std::vector<OpenBox> children;
+    };
+    std::vector<ShardOutput> outputs(wave.size());
+
+    const auto body = [&](std::size_t shard) {
+      ShardOutput& out = outputs[shard];
+      out.point = wave[shard].box.midpoint();
+      out.evaluation = objective.evaluate(out.point);
+      if (wave[shard].box.width() > limits.min_width) {
+        auto [lower, upper] = wave[shard].box.bisect();
+        for (ParamBox* child : {&lower, &upper}) {
+          // A child's bound never exceeds its parent's (the parent box
+          // contains it), so tighten against the cached parent bound.
+          const double child_bound = std::min(wave[shard].bound, objective.bound(*child));
+          AURV_CHECK_MSG(!std::isnan(child_bound), "objective bound must not be NaN");
+          out.children.push_back(OpenBox{std::move(*child), child_bound});
+        }
+      }
+    };
+
+    const auto complete = [&](std::size_t shard) {
+      ShardOutput& out = outputs[shard];
+      ++state.stats.evaluated;
+      if (!state.incumbent.found || out.evaluation.score > state.incumbent.score) {
+        state.incumbent.found = true;
+        state.incumbent.score = out.evaluation.score;
+        state.incumbent.box_id = wave[shard].box.id();
+        state.incumbent.point = std::move(out.point);
+        state.incumbent.evaluation = std::move(out.evaluation);
+        state.incumbent.found_at_box = state.stats.evaluated;
+        ++state.stats.improvements;
+        log.append(improvement_record(state.incumbent, options.dim_names));
+      }
+      if (out.children.empty()) {
+        ++state.stats.leaves;
+      } else {
+        ++state.stats.branched;
+        for (OpenBox& child : out.children) {
+          if (prunable(child.bound)) {
+            ++state.stats.pruned;
+          } else {
+            state.frontier.insert(std::move(child));
+          }
+        }
+      }
+      state.stats.max_frontier =
+          std::max<std::uint64_t>(state.stats.max_frontier, state.frontier.size());
+    };
+
+    support::ShardedRunOptions sharded;
+    sharded.threads = options.max_shards;
+    support::run_sharded(wave.size(), body, complete, sharded);
+
+    ++state.stats.waves;
+    ++waves_this_invocation;
+    if (options.progress) options.progress(state.stats.evaluated, state.frontier.size());
+    if (!options.checkpoint_path.empty() && state.stats.waves % options.checkpoint_every == 0)
+      write_checkpoint();
+  }
+
+  // Persist the frontier even off a checkpoint_every boundary, so the next
+  // invocation resumes from exactly where this one stopped — and so a
+  // finished search leaves a terminal checkpoint behind.
+  write_checkpoint();
+
+  BnbResult result;
+  result.incumbent = state.incumbent;
+  result.stats = state.stats;
+  result.exhausted = state.frontier.empty();
+  result.budget_reached = state.stats.evaluated >= limits.max_boxes;
+  result.open_boxes = state.frontier.size();
+  result.frontier_bound = state.frontier.empty() ? -kInf : state.frontier.begin()->bound;
+  result.dim_names = options.dim_names;
+  return result;
+}
+
+}  // namespace aurv::search

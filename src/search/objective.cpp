@@ -1,0 +1,466 @@
+#include "search/objective.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "core/feasibility.hpp"
+#include "geom/angle.hpp"
+#include "support/check.hpp"
+
+namespace aurv::search {
+
+using numeric::Rational;
+using support::Json;
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+/// Outward slop for bounds computed in double arithmetic over exact
+/// rational intervals: pruning decisions stay on the safe side of round-off.
+/// The absolute floor covers tiny magnitudes; the relative term (~4500 ulps)
+/// keeps the margin conservative at large coordinates, where each
+/// Rational::to_double rounds by up to half an ulp of the *value* and a
+/// fixed absolute slop would be overtaken by round-off.
+constexpr double kBoundSlop = 1e-9;
+constexpr double kRelBoundSlop = 1e-12;
+double bound_slop(double magnitude) { return kBoundSlop + kRelBoundSlop * std::fabs(magnitude); }
+
+struct ParamDefault {
+  const char* name;
+  long long num;
+  long long den;
+};
+
+const std::vector<ParamDefault>& defaults_of(SearchSpace::Family family) {
+  static const std::vector<ParamDefault> tuple = {
+      {"r", 1, 1}, {"x", 2, 1}, {"y", 0, 1}, {"phi", 0, 1},
+      {"tau", 1, 1}, {"v", 1, 1}, {"t", 0, 1}};
+  static const std::vector<ParamDefault> s1 = {{"theta", 0, 1}, {"r", 1, 1}, {"t", 2, 1}};
+  static const std::vector<ParamDefault> s2 = {
+      {"half_phi", 0, 1}, {"lateral", 7, 5}, {"r", 1, 1}, {"t", 2, 1}};
+  switch (family) {
+    case SearchSpace::Family::Tuple: return tuple;
+    case SearchSpace::Family::BoundaryS1: return s1;
+    case SearchSpace::Family::BoundaryS2: return s2;
+  }
+  throw std::logic_error("SearchSpace: unknown family");
+}
+
+/// Double view of an exact interval (endpoints are exact; the view is the
+/// nearest-double image, which the kBoundSlop margins absorb).
+struct DInterval {
+  double lo;
+  double hi;
+};
+
+DInterval view(const Interval& interval) {
+  return {interval.lo.to_double(), interval.hi.to_double()};
+}
+
+/// Interval of |x| over [lo, hi].
+DInterval abs_interval(DInterval x) {
+  const double alo = std::fabs(x.lo);
+  const double ahi = std::fabs(x.hi);
+  if (x.lo <= 0.0 && x.hi >= 0.0) return {0.0, std::max(alo, ahi)};
+  return {std::min(alo, ahi), std::max(alo, ahi)};
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ SearchSpace --
+
+const std::vector<std::string>& SearchSpace::param_names(Family family) {
+  static const std::vector<std::string> tuple = {"r", "x", "y", "phi", "tau", "v", "t"};
+  static const std::vector<std::string> s1 = {"theta", "r", "t"};
+  static const std::vector<std::string> s2 = {"half_phi", "lateral", "r", "t"};
+  switch (family) {
+    case Family::Tuple: return tuple;
+    case Family::BoundaryS1: return s1;
+    case Family::BoundaryS2: return s2;
+  }
+  throw std::logic_error("SearchSpace: unknown family");
+}
+
+std::string SearchSpace::to_string(Family family) {
+  switch (family) {
+    case Family::Tuple: return "tuple";
+    case Family::BoundaryS1: return "boundary-s1";
+    case Family::BoundaryS2: return "boundary-s2";
+  }
+  throw std::logic_error("SearchSpace: unknown family");
+}
+
+SearchSpace::Family SearchSpace::family_from_string(const std::string& name) {
+  if (name == "tuple") return Family::Tuple;
+  if (name == "boundary-s1") return Family::BoundaryS1;
+  if (name == "boundary-s2") return Family::BoundaryS2;
+  throw std::invalid_argument("search space: unknown family \"" + name +
+                              "\"; known: tuple, boundary-s1, boundary-s2");
+}
+
+void SearchSpace::validate() const {
+  if (chi != 1 && chi != -1)
+    throw std::invalid_argument("search space: chi must be +1 or -1");
+  if (dim_names.empty())
+    throw std::invalid_argument("search space: at least one searched dimension required");
+  const std::vector<std::string>& legal = param_names(family);
+  const auto known = [&](const std::string& name) {
+    return std::find(legal.begin(), legal.end(), name) != legal.end();
+  };
+  for (std::size_t k = 0; k < dim_names.size(); ++k) {
+    if (!known(dim_names[k]))
+      throw std::invalid_argument("search space: unknown dimension \"" + dim_names[k] +
+                                  "\" for family " + to_string(family));
+    for (std::size_t j = k + 1; j < dim_names.size(); ++j)
+      if (dim_names[k] == dim_names[j])
+        throw std::invalid_argument("search space: duplicate dimension \"" + dim_names[k] +
+                                    "\"");
+  }
+  for (const auto& [name, value] : fixed) {
+    (void)value;
+    if (!known(name))
+      throw std::invalid_argument("search space: unknown fixed parameter \"" + name +
+                                  "\" for family " + to_string(family));
+    if (std::find(dim_names.begin(), dim_names.end(), name) != dim_names.end())
+      throw std::invalid_argument("search space: \"" + name +
+                                  "\" is both searched and fixed");
+  }
+}
+
+Rational SearchSpace::param(const std::string& name,
+                            const std::vector<Rational>& point) const {
+  const auto dim = std::find(dim_names.begin(), dim_names.end(), name);
+  if (dim != dim_names.end()) {
+    const auto index = static_cast<std::size_t>(dim - dim_names.begin());
+    AURV_CHECK_MSG(index < point.size(), "SearchSpace::param: point/dimension mismatch");
+    return point[index];
+  }
+  for (const auto& [fixed_name, value] : fixed)
+    if (fixed_name == name) return value;
+  for (const ParamDefault& entry : defaults_of(family))
+    if (name == entry.name) return Rational(numeric::BigInt(entry.num), numeric::BigInt(entry.den));
+  throw std::invalid_argument("search space: no such parameter \"" + name + "\"");
+}
+
+Interval SearchSpace::param_interval(const std::string& name, const ParamBox& box) const {
+  const auto dim = std::find(dim_names.begin(), dim_names.end(), name);
+  if (dim != dim_names.end()) {
+    const auto index = static_cast<std::size_t>(dim - dim_names.begin());
+    AURV_CHECK_MSG(index < box.dim_count(), "SearchSpace::param_interval: box/dimension mismatch");
+    return box.dim(index);
+  }
+  const Rational value = param(name, {});
+  return Interval{value, value};
+}
+
+agents::Instance SearchSpace::instance_at(const std::vector<Rational>& point) const {
+  switch (family) {
+    case Family::Tuple: {
+      const double r = param("r", point).to_double();
+      const geom::Vec2 b{param("x", point).to_double(), param("y", point).to_double()};
+      const double phi = geom::normalize_angle(param("phi", point).to_double());
+      return agents::Instance(r, b, phi, param("tau", point), param("v", point),
+                              param("t", point), chi);
+    }
+    case Family::BoundaryS1: {
+      // S1 manifold: t = dist - r by construction (cf. the adversary's
+      // construct_s1_counterexample, which picks theta in a direction gap).
+      const double r = param("r", point).to_double();
+      const Rational t = param("t", point);
+      const double theta = param("theta", point).to_double();
+      const geom::Vec2 b = (t.to_double() + r) * geom::unit_vector(theta);
+      return agents::Instance::synchronous(r, b, /*phi=*/0.0, t, /*chi=*/+1);
+    }
+    case Family::BoundaryS2: {
+      // S2 manifold of Theorem 4.1: t = dist(projA, projB) - r by
+      // construction, with the canonical line at inclination half_phi.
+      const double r = param("r", point).to_double();
+      const Rational t = param("t", point);
+      const double half_phi = param("half_phi", point).to_double();
+      const double lateral = param("lateral", point).to_double();
+      const geom::Vec2 along = geom::unit_vector(half_phi);
+      const geom::Vec2 b = (t.to_double() + r) * along + lateral * along.perp();
+      const double phi = geom::normalize_angle(2.0 * half_phi);
+      return agents::Instance::synchronous(r, b, phi, t, /*chi=*/-1);
+    }
+  }
+  throw std::logic_error("SearchSpace: unknown family");
+}
+
+bool SearchSpace::synchronous() const {
+  if (family != Family::Tuple) return true;
+  for (const char* name : {"tau", "v"}) {
+    if (std::find(dim_names.begin(), dim_names.end(), name) != dim_names.end()) return false;
+    if (param(name, {}) != Rational(1)) return false;
+  }
+  return true;
+}
+
+// ------------------------------------------------------------- Evaluation --
+
+Json Evaluation::to_json() const {
+  Json json = Json::object();
+  json.set("score", Json(score));
+  json.set("met", Json(met));
+  if (met) json.set("meet_time", Json(meet_time));
+  json.set("min_distance", Json(min_distance));
+  json.set("clearance", Json(clearance));
+  json.set("events", Json(events));
+  json.set("reason", Json(stop_reason));
+  json.set("instance", Json(instance));
+  return json;
+}
+
+Evaluation Evaluation::from_json(const Json& json) {
+  Evaluation evaluation;
+  evaluation.score = json.at("score").as_number();
+  evaluation.met = json.at("met").as_bool();
+  evaluation.meet_time = json.number_or("meet_time", 0.0);
+  evaluation.min_distance = json.at("min_distance").as_number();
+  evaluation.clearance = json.at("clearance").as_number();
+  evaluation.events = json.at("events").as_uint();
+  evaluation.stop_reason = json.at("reason").as_string();
+  evaluation.instance = json.at("instance").as_string();
+  return evaluation;
+}
+
+// -------------------------------------------------------------- objectives --
+
+namespace {
+
+/// Shared oracle plumbing: map point -> instance, simulate, fill the
+/// score-independent record fields.
+class SimObjective : public Objective {
+ public:
+  SimObjective(SearchSpace space, AlgorithmResolverFn algorithm, sim::EngineConfig config)
+      : space_(std::move(space)), algorithm_(std::move(algorithm)), config_(std::move(config)) {}
+
+  [[nodiscard]] Json descriptor() const override {
+    Json space = Json::object();
+    space.set("family", Json(SearchSpace::to_string(space_.family)));
+    space.set("chi", Json(space_.chi));
+    Json dims = Json::array();
+    for (const std::string& dim : space_.dim_names) dims.push_back(Json(dim));
+    space.set("dims", std::move(dims));
+    Json fixed = Json::object();
+    for (const auto& [param, value] : space_.fixed) fixed.set(param, Json(value.to_string()));
+    space.set("fixed", std::move(fixed));
+    Json engine = Json::object();
+    engine.set("max_events", Json(config_.max_events));
+    engine.set("contact_slack", Json(config_.contact_slack));
+    engine.set("horizon", config_.horizon ? Json(config_.horizon->to_string()) : Json());
+    engine.set("r_a", config_.r_a ? Json(*config_.r_a) : Json());
+    engine.set("r_b", config_.r_b ? Json(*config_.r_b) : Json());
+    Json json = Json::object();
+    json.set("objective", Json(name()));
+    json.set("space", std::move(space));
+    json.set("engine", std::move(engine));
+    return json;
+  }
+
+ protected:
+  [[nodiscard]] Evaluation simulate(const std::vector<Rational>& point) const {
+    return simulate(space_.instance_at(point));
+  }
+
+  [[nodiscard]] Evaluation simulate(const agents::Instance& instance) const {
+    const sim::SimResult run = sim::Engine(instance, config_).run(algorithm_(instance));
+    Evaluation evaluation;
+    evaluation.met = run.met;
+    evaluation.meet_time = run.meet_time;
+    evaluation.min_distance = run.min_distance_seen;
+    evaluation.clearance = run.min_distance_seen - rendezvous_radius(instance.r());
+    evaluation.events = run.events;
+    evaluation.stop_reason = sim::to_string(run.reason);
+    evaluation.instance = instance.to_string();
+    return evaluation;
+  }
+
+  /// The distance at which the run succeeds: min over the per-agent radii
+  /// (Section 5 overrides taken into account).
+  [[nodiscard]] double rendezvous_radius(double instance_r) const {
+    return std::min(config_.r_a.value_or(instance_r), config_.r_b.value_or(instance_r));
+  }
+
+  /// Interval of the Theorem 3.1 boundary slack t - (d - r) over `box`,
+  /// where d is dist (chi = +1, phi pinned to 0) or dist(projA, projB)
+  /// (chi = -1). Valid only for synchronous tuple spaces. The returned
+  /// interval is already widened outward by bound_slop of the largest
+  /// participating magnitude, so it stays conservative under double
+  /// round-off at any coordinate scale.
+  [[nodiscard]] DInterval slack_interval(const ParamBox& box) const {
+    const DInterval t = view(space_.param_interval("t", box));
+    const DInterval r = view(space_.param_interval("r", box));
+    const DInterval x = abs_interval(view(space_.param_interval("x", box)));
+    const DInterval y = abs_interval(view(space_.param_interval("y", box)));
+    DInterval d{0.0, std::hypot(x.hi, y.hi)};  // 0 <= d <= dist_hi always
+    const Interval phi = space_.param_interval("phi", box);
+    if (space_.chi == -1) {
+      if (phi.is_point()) {
+        // Fixed phi: dproj = |b . unit(phi/2)| is linear in (x, y), so its
+        // range is spanned by the corner values.
+        const double half = phi.lo.to_double() / 2.0;
+        const double c = std::cos(half);
+        const double s = std::sin(half);
+        const DInterval raw_x = view(space_.param_interval("x", box));
+        const DInterval raw_y = view(space_.param_interval("y", box));
+        double lo = kInf;
+        double hi = -kInf;
+        for (const double bx : {raw_x.lo, raw_x.hi}) {
+          for (const double by : {raw_y.lo, raw_y.hi}) {
+            const double proj = bx * c + by * s;
+            lo = std::min(lo, proj);
+            hi = std::max(hi, proj);
+          }
+        }
+        d = abs_interval({lo, hi});
+      }
+      // Searched phi: keep the conservative d in [0, dist_hi].
+    } else {
+      d = DInterval{std::hypot(x.lo, y.lo), std::hypot(x.hi, y.hi)};  // dist itself
+    }
+    // The slop magnitude must include the raw coordinate maxima (x.hi,
+    // y.hi), not just d.hi: the fixed-phi projection above can cancel to a
+    // tiny d whose round-off error still scales with |b|.
+    const double slop = bound_slop(std::max(
+        {std::fabs(t.lo), std::fabs(t.hi), x.hi, y.hi, d.hi, std::fabs(r.lo), std::fabs(r.hi)}));
+    return {t.lo - d.hi + r.lo - slop, t.hi - d.lo + r.hi + slop};
+  }
+
+  /// True when the whole box is provably infeasible under Theorem 3.1
+  /// (synchronous, boundary slack entirely negative); such boxes can never
+  /// produce a meeting.
+  [[nodiscard]] bool provably_infeasible(const ParamBox& box) const {
+    if (space_.family != SearchSpace::Family::Tuple) return false;  // manifolds are feasible
+    if (!space_.synchronous()) return false;  // tau != 1 or v != 1: always feasible
+    if (space_.chi == +1) {
+      const Interval phi = space_.param_interval("phi", box);
+      if (!phi.is_point() || !phi.lo.is_zero()) return false;  // phi != 0: always feasible
+    }
+    return slack_interval(box).hi < 0.0;  // the interval is already slop-widened
+  }
+
+  SearchSpace space_;
+  AlgorithmResolverFn algorithm_;
+  sim::EngineConfig config_;
+};
+
+/// Theorem 3.2's cost side: the slowest-to-meet instance in the space.
+class MaxMeetTimeObjective final : public SimObjective {
+ public:
+  using SimObjective::SimObjective;
+  [[nodiscard]] std::string name() const override { return "max-meet-time"; }
+
+  [[nodiscard]] Evaluation evaluate(const std::vector<Rational>& point) const override {
+    Evaluation evaluation = simulate(point);
+    // Non-meeting runs score a fixed -1 (below every legal meet time, and
+    // finite so artifacts stay valid JSON).
+    evaluation.score = evaluation.met ? evaluation.meet_time : -1.0;
+    return evaluation;
+  }
+
+  [[nodiscard]] double bound(const ParamBox& box) const override {
+    if (provably_infeasible(box)) return -kInf;
+    if (config_.horizon) {
+      const double h = config_.horizon->to_double();
+      return h + bound_slop(h);
+    }
+    return kInf;
+  }
+};
+
+/// Theorem 4.1 probe: how little does a fixed algorithm miss by on the
+/// exception manifolds? score = -(clearance to rendezvous).
+class NearMissObjective final : public SimObjective {
+ public:
+  using SimObjective::SimObjective;
+  [[nodiscard]] std::string name() const override { return "near-miss"; }
+
+  [[nodiscard]] Evaluation evaluate(const std::vector<Rational>& point) const override {
+    Evaluation evaluation = simulate(point);
+    evaluation.score = -evaluation.clearance;
+    return evaluation;
+  }
+
+  [[nodiscard]] double bound(const ParamBox& box) const override {
+    // Distances are nonnegative, so -(clearance) <= rendezvous radius; with
+    // per-agent overrides the radius no longer depends on the box at all.
+    const DInterval r = view(space_.param_interval("r", box));
+    const double radius = rendezvous_radius(r.hi);
+    return radius + bound_slop(radius);
+  }
+};
+
+/// Theorem 3.1 knife edge: distance to the S1/S2 feasibility boundary,
+/// minimized (score = -|slack|). The bound is pure interval arithmetic —
+/// boxes provably far from the boundary are pruned without simulating.
+class BoundaryDistanceObjective final : public SimObjective {
+ public:
+  using SimObjective::SimObjective;
+  [[nodiscard]] std::string name() const override { return "boundary-distance"; }
+
+  [[nodiscard]] Evaluation evaluate(const std::vector<Rational>& point) const override {
+    const agents::Instance instance = space_.instance_at(point);
+    Evaluation evaluation = simulate(instance);
+    const core::Classification c = core::classify(instance);
+    evaluation.score = -std::fabs(c.boundary_slack);
+    return evaluation;
+  }
+
+  [[nodiscard]] double bound(const ParamBox& box) const override {
+    if (space_.family != SearchSpace::Family::Tuple) return 0.0;  // manifolds: slack == 0
+    const DInterval slack = slack_interval(box);  // already slop-widened
+    const DInterval magnitude = abs_interval(slack);
+    return -std::max(0.0, magnitude.lo);
+  }
+};
+
+}  // namespace
+
+const std::vector<std::string>& objective_names() {
+  static const std::vector<std::string> names = {"max-meet-time", "near-miss",
+                                                 "boundary-distance"};
+  return names;
+}
+
+std::unique_ptr<Objective> make_objective(const std::string& name, SearchSpace space,
+                                          AlgorithmResolverFn algorithm,
+                                          sim::EngineConfig config) {
+  space.validate();
+  AURV_CHECK_MSG(static_cast<bool>(algorithm), "make_objective: algorithm resolver required");
+  if (name == "max-meet-time")
+    return std::make_unique<MaxMeetTimeObjective>(std::move(space), std::move(algorithm),
+                                                  std::move(config));
+  if (name == "near-miss")
+    return std::make_unique<NearMissObjective>(std::move(space), std::move(algorithm),
+                                               std::move(config));
+  if (name == "boundary-distance") {
+    if (space.family == SearchSpace::Family::Tuple) {
+      if (!space.synchronous())
+        throw std::invalid_argument(
+            "objective boundary-distance: requires a synchronous space (tau = v = 1); "
+            "non-synchronous instances have no feasibility boundary");
+      if (space.chi == +1) {
+        const bool phi_searched = std::find(space.dim_names.begin(), space.dim_names.end(),
+                                            "phi") != space.dim_names.end();
+        if (phi_searched || !space.param("phi", {}).is_zero())
+          throw std::invalid_argument(
+              "objective boundary-distance: chi = +1 requires phi fixed to 0 (the S1 "
+              "boundary); chi = +1 with phi != 0 is always feasible");
+      }
+    }
+    return std::make_unique<BoundaryDistanceObjective>(std::move(space), std::move(algorithm),
+                                                       std::move(config));
+  }
+  std::string message = "unknown objective \"" + name + "\"; known: ";
+  for (std::size_t k = 0; k < objective_names().size(); ++k) {
+    if (k != 0) message += ", ";
+    message += objective_names()[k];
+  }
+  throw std::invalid_argument(message);
+}
+
+}  // namespace aurv::search

@@ -1,0 +1,92 @@
+// Checkpoint plumbing shared by the campaign runner and the search
+// subsystem: an append-mode JSONL sink with checkpoint-resume truncation,
+// and atomic JSON checkpoint writes.
+//
+// The contract that makes streamed records byte-identical across
+// checkpoint/resume cycles: a checkpoint stores the byte offset of the
+// stream's durable prefix; on resume the sink truncates the file back to
+// that offset (dropping records written after the checkpoint and lost to
+// the interruption) and appends from there. A file *shorter* than the
+// recorded offset means stream and checkpoint are out of sync, which is
+// refused instead of silently padding the hole.
+#pragma once
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+
+#include "support/json.hpp"
+
+namespace aurv::support {
+
+/// Write-then-rename so an interrupted write can never leave a truncated
+/// checkpoint behind: the previous checkpoint survives until the new one is
+/// fully on disk.
+inline void save_json_atomically(const std::string& path, const Json& json) {
+  const std::string tmp = path + ".tmp";
+  json.save_file(tmp);
+  std::filesystem::rename(tmp, path);
+}
+
+/// Canonical rendering of a spec fingerprint in checkpoint files: 16
+/// zero-padded lowercase hex digits. Campaign and search checkpoints share
+/// this format, so keep them on one helper.
+inline std::string fingerprint_hex(std::uint64_t fingerprint) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof buffer, "%016" PRIx64, fingerprint);
+  return buffer;
+}
+
+class JsonlSink {
+ public:
+  /// Opens `path` for writing ("" = disabled sink, every call a no-op).
+  /// `resume_bytes` > 0 truncates to that offset and appends; 0 starts the
+  /// stream over.
+  explicit JsonlSink(const std::string& path, std::uint64_t resume_bytes = 0) {
+    if (path.empty()) return;
+    if (resume_bytes > 0) {
+      std::error_code ec;
+      const std::uintmax_t existing = std::filesystem::file_size(path, ec);
+      if (ec || existing < resume_bytes)
+        throw std::invalid_argument(
+            "jsonl: " + path + " is shorter than the checkpoint's recorded offset (" +
+            std::to_string(resume_bytes) +
+            " bytes); the stream does not match this checkpoint — delete both to start over");
+      std::filesystem::resize_file(path, resume_bytes, ec);
+      if (ec)
+        throw std::invalid_argument("jsonl: cannot truncate " + path + " for resume: " +
+                                    ec.message());
+      file_ = std::fopen(path.c_str(), "ab");
+    } else {
+      file_ = std::fopen(path.c_str(), "wb");
+    }
+    if (file_ == nullptr) throw std::invalid_argument("jsonl: cannot open " + path);
+    bytes_ = resume_bytes;
+  }
+  ~JsonlSink() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+  JsonlSink(const JsonlSink&) = delete;
+  JsonlSink& operator=(const JsonlSink&) = delete;
+
+  void append(const std::string& text) {
+    if (file_ == nullptr) return;
+    if (std::fwrite(text.data(), 1, text.size(), file_) != text.size())
+      throw std::runtime_error("jsonl: write failed");
+    bytes_ += text.size();
+  }
+  void flush() {
+    if (file_ != nullptr) std::fflush(file_);
+  }
+  /// Durable-prefix offset to record in checkpoints.
+  [[nodiscard]] std::uint64_t bytes() const noexcept { return bytes_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace aurv::support

@@ -7,6 +7,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "test_paths.hpp"
 #include "exp/aggregate.hpp"
 #include "exp/registry.hpp"
 #include "exp/runner.hpp"
@@ -17,6 +18,8 @@ namespace aurv::exp {
 namespace {
 
 using support::Json;
+using testpaths::slurp;
+using testpaths::temp_path;
 
 ScenarioSpec small_spec() {
   ScenarioSpec spec;
@@ -27,17 +30,6 @@ ScenarioSpec small_spec() {
   spec.count = 60;
   spec.engine.max_events = 2'000'000;
   return spec;
-}
-
-std::string temp_path(const std::string& leaf) {
-  return (std::filesystem::path(::testing::TempDir()) / leaf).string();
-}
-
-std::string slurp(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return buffer.str();
 }
 
 // ------------------------------------------------------------------ spec --

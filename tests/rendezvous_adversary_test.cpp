@@ -13,6 +13,7 @@
 #include "core/almost_universal.hpp"
 #include "core/feasibility.hpp"
 #include "geom/angle.hpp"
+#include "program/combinators.hpp"
 #include "sim/engine.hpp"
 
 namespace aurv::core {
@@ -123,6 +124,75 @@ TEST(Adversary, DefeatsLatecomersOnS1Too) {
   const sim::SimResult result = sim::Engine(report.instance, config).run(lc);
   EXPECT_FALSE(result.met);
   EXPECT_GT(result.min_distance_seen, report.instance.r());
+}
+
+TEST(Adversary, DegeneratePrefixWithZeroDirections) {
+  // An algorithm that only waits uses no directions at all: the gap spans
+  // the whole circle, the midpoint defaults to period/4, and the
+  // counterexample constructions still produce well-formed boundary
+  // instances with the full circle as margin.
+  const sim::AlgorithmFactory idle = [] {
+    return program::replay({program::wait(4096)});
+  };
+  const std::vector<double> rays =
+      prefix_directions(idle, Rational(1024), /*period_pi=*/false, 1'000'000);
+  EXPECT_TRUE(rays.empty());
+
+  AdversaryConfig config;
+  config.analysis_horizon = 1024;
+  const AdversaryReport s1 = construct_s1_counterexample(idle, config);
+  EXPECT_EQ(s1.directions_used, 0u);
+  EXPECT_DOUBLE_EQ(s1.chosen_direction, geom::kTwoPi / 4);
+  EXPECT_DOUBLE_EQ(s1.angular_gap, geom::kTwoPi);
+  EXPECT_EQ(classify(s1.instance, 1e-9).kind, InstanceKind::BoundaryS1);
+
+  const AdversaryReport s2 = construct_s2_counterexample(idle, config);
+  EXPECT_EQ(s2.directions_used, 0u);
+  EXPECT_DOUBLE_EQ(s2.chosen_direction, geom::kPi / 4);
+  EXPECT_DOUBLE_EQ(s2.angular_gap, geom::kPi);
+  EXPECT_EQ(classify(s2.instance, 1e-9).kind, InstanceKind::BoundaryS2);
+
+  // A waiting algorithm trivially never meets the boundary instance.
+  sim::EngineConfig engine;
+  engine.horizon = Rational(1024);
+  const sim::SimResult result = sim::Engine(s1.instance, engine).run(idle);
+  EXPECT_FALSE(result.met);
+  EXPECT_GT(result.min_distance_seen, s1.instance.r());
+}
+
+TEST(Adversary, DegeneratePrefixWithOneDirection) {
+  // One distinct direction: the largest gap is the rest of the circle and
+  // its midpoint is the antipode (resp. the perpendicular, for the
+  // period-pi inclination circle).
+  const sim::AlgorithmFactory beeline = [] {
+    // East forever, re-issued in segments (one direction after dedup).
+    return program::replay({program::go_east(512), program::go_east(512)});
+  };
+  const std::vector<double> rays =
+      prefix_directions(beeline, Rational(1024), /*period_pi=*/false, 1'000'000);
+  ASSERT_EQ(rays.size(), 1u);
+  EXPECT_DOUBLE_EQ(rays[0], 0.0);
+
+  EXPECT_DOUBLE_EQ(largest_gap_midpoint({0.0}, geom::kTwoPi), geom::kPi);
+  EXPECT_DOUBLE_EQ(largest_gap_midpoint({0.0}, geom::kPi), geom::kPi / 2);
+  // The wrap-around midpoint is reduced into [0, period).
+  EXPECT_NEAR(largest_gap_midpoint({3.0}, geom::kPi),
+              3.0 - geom::kPi / 2, 1e-12);
+
+  AdversaryConfig config;
+  config.analysis_horizon = 1024;
+  const AdversaryReport s1 = construct_s1_counterexample(beeline, config);
+  EXPECT_EQ(s1.directions_used, 1u);
+  EXPECT_DOUBLE_EQ(s1.chosen_direction, geom::kPi);  // antipode of east
+  EXPECT_NEAR(s1.angular_gap, geom::kPi, 1e-12);
+
+  // Aimed away from the only direction the algorithm ever travels, the
+  // boundary instance defeats it.
+  sim::EngineConfig engine;
+  engine.horizon = Rational(1024);
+  const sim::SimResult result = sim::Engine(s1.instance, engine).run(beeline);
+  EXPECT_FALSE(result.met);
+  EXPECT_GT(result.min_distance_seen, s1.instance.r());
 }
 
 TEST(Adversary, BoundaryInstanceBecomesSolvableWithAnyExtraDelay) {

@@ -1,0 +1,36 @@
+// Path plumbing shared by the exp/search test suites: per-test temp files,
+// whole-file reads for byte-identity assertions, and locating the committed
+// scenarios/ directory from wherever ctest runs the binary.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace aurv::testpaths {
+
+inline std::string temp_path(const std::string& leaf) {
+  return (std::filesystem::path(::testing::TempDir()) / leaf).string();
+}
+
+inline std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// scenarios/ relative to the test binary: tests run from build/, the repo
+/// root is the source dir recorded at configure time via the working tree.
+inline std::string scenario_path(const std::string& leaf) {
+  for (const char* prefix : {"scenarios/", "../scenarios/", "../../scenarios/"}) {
+    const std::string candidate = prefix + leaf;
+    if (std::filesystem::exists(candidate)) return candidate;
+  }
+  return "scenarios/" + leaf;
+}
+
+}  // namespace aurv::testpaths
