@@ -1,14 +1,19 @@
 // BENCH-campaign — end-to-end throughput of the campaign runner: how many
 // simulation runs per second the sharded work-queue + streaming aggregation
 // pipeline sustains, at 1 thread and at hardware concurrency, with and
-// without the JSONL sink. Writes BENCH_campaign.json (same flat schema as
+// without the JSONL sink; plus the gathering-census pipeline (gatherx) on
+// the same harness. Writes BENCH_campaign.json (same flat schema as
 // BENCH_micro.json, ns/op = ns per simulation run) when given --json.
 //
 //   ./campaign_throughput [--json[=path]] [--count N]
 //
 // The workload is a fixed type-2 census (cheap per-run, so the harness
 // overhead — job generation, per-shard aggregation, in-order flushing — is
-// a visible fraction, which is exactly what this bench is watching).
+// a visible fraction, which is exactly what this bench is watching); the
+// gather rows run a disk census through both stop policies. Rows at
+// hardware concurrency appear whenever more than one core is available, so
+// multicore baselines expose parallel-efficiency regressions.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -20,6 +25,8 @@
 #include "bench_json.hpp"
 #include "exp/runner.hpp"
 #include "exp/scenario.hpp"
+#include "gatherx/census.hpp"
+#include "gatherx/scenario.hpp"
 #include "support/parse.hpp"
 
 namespace {
@@ -52,6 +59,38 @@ double ns_per_run(const exp::ScenarioSpec& spec, std::size_t threads,
   return static_cast<double>(
              std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()) /
          static_cast<double>(result.aggregate.runs);
+}
+
+gatherx::GatherScenarioSpec gather_bench_spec(std::uint64_t count) {
+  gatherx::GatherScenarioSpec spec;
+  spec.name = "gather_census_throughput";
+  spec.algorithm = "latecomers";
+  spec.seed = 99;
+  spec.sampler = "disk";
+  spec.count = count;
+  spec.ranges.n_min = 2;
+  spec.ranges.n_max = 4;
+  spec.ranges.wake_max = 6.0;
+  spec.max_events = 500'000;
+  spec.horizon = numeric::Rational(2048);
+  return spec;
+}
+
+double ns_per_gather_run(const gatherx::GatherScenarioSpec& spec, std::size_t threads) {
+  gatherx::CensusOptions options;
+  options.threads = threads;
+  const auto start = std::chrono::steady_clock::now();
+  const gatherx::CensusResult result = gatherx::run_census(spec, options);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  const std::uint64_t runs =
+      result.aggregate.first_sight.runs + result.aggregate.all_visible.runs;
+  if (runs != spec.total_jobs() * spec.policies.size()) {
+    std::fprintf(stderr, "campaign_throughput: short gather run!\n");
+    std::exit(1);
+  }
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()) /
+         static_cast<double>(runs);
 }
 
 }  // namespace
@@ -95,6 +134,16 @@ int main(int argc, char** argv) {
   record("BM_CampaignRunJsonl/threads:" + std::to_string(hardware),
          ns_per_run(spec, hardware, jsonl_tmp));
   std::filesystem::remove(jsonl_tmp);
+
+  // Gathering census (gatherx) through the same sharded harness: ns per
+  // gather-engine run (each configuration runs once per stop policy).
+  const gatherx::GatherScenarioSpec gather_spec =
+      gather_bench_spec(std::max<std::uint64_t>(1, count / 4));
+  record("BM_GatherCensus/threads:1", ns_per_gather_run(gather_spec, 1));
+  if (hardware > 1) {
+    record("BM_GatherCensus/threads:" + std::to_string(hardware),
+           ns_per_gather_run(gather_spec, hardware));
+  }
 
   if (write) {
     aurv::bench::write_json(json_path, results);

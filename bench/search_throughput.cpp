@@ -11,7 +11,13 @@
 // over (x, t) straddling the t = |x| - r feasibility boundary), scaled up:
 // per-box cost is one short engine run, so the harness overhead — wave
 // assembly, bound evaluation, frontier maintenance, in-order merging — is
-// a visible fraction, which is exactly what this bench is watching.
+// a visible fraction, which is exactly what this bench is watching. A
+// second workload drives the gather-tuple family (max-gather-time over a
+// staggered chain's spread/delay), so the n-agent oracle's throughput is
+// baselined too. Rows at hardware concurrency appear whenever more than
+// one core is available, so multicore baselines expose parallel-efficiency
+// regressions.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -47,6 +53,24 @@ exp::SearchSpec bench_spec(std::uint64_t boxes) {
   spec.limits.min_width = Rational(BigInt(1), BigInt(1u << 20));
   spec.engine.max_events = 2'000'000;
   spec.engine.horizon = Rational(256);
+  return spec;
+}
+
+exp::SearchSpec gather_bench_spec(std::uint64_t boxes) {
+  exp::SearchSpec spec;
+  spec.name = "gather_search_throughput";
+  spec.algorithm = "latecomers";
+  spec.objective = "max-gather-time";
+  spec.space.family = search::SearchSpace::Family::GatherTuple;
+  spec.space.fixed = {{"n", Rational(3)}, {"r", Rational(1)}, {"policy", Rational(0)}};
+  spec.space.dim_names = {"spread", "delay"};
+  spec.box = {search::Interval{Rational(BigInt(1), BigInt(2)), Rational(4)},
+              search::Interval{Rational(0), Rational(3)}};
+  spec.limits.max_boxes = boxes;
+  spec.limits.wave_size = 64;
+  spec.limits.min_width = Rational(BigInt(1), BigInt(1u << 20));
+  spec.engine.max_events = 500'000;
+  spec.engine.horizon = Rational(512);
   return spec;
 }
 
@@ -115,6 +139,20 @@ int main(int argc, char** argv) {
   results["BM_SearchBnb/prune_rate_pct"] = serial.prune_rate * 100.0;
   std::printf("%-44s %10.2f %% of considered boxes pruned\n", "BM_SearchBnb/prune_rate_pct",
               serial.prune_rate * 100.0);
+
+  // The gathering oracle (n-agent engine midpoints, reachability-bound
+  // pruning) on the same branch-and-bound harness.
+  const exp::SearchSpec gather_spec =
+      gather_bench_spec(std::max<std::uint64_t>(1, boxes / 4));
+  const BenchRun gather_serial = run_once(gather_spec, 1);
+  record("BM_SearchBnbGather/shards:1", gather_serial.ns_per_box);
+  if (hardware > 1) {
+    record("BM_SearchBnbGather/shards:" + std::to_string(hardware),
+           run_once(gather_spec, hardware).ns_per_box);
+  }
+  results["BM_SearchBnbGather/prune_rate_pct"] = gather_serial.prune_rate * 100.0;
+  std::printf("%-44s %10.2f %% of considered boxes pruned\n",
+              "BM_SearchBnbGather/prune_rate_pct", gather_serial.prune_rate * 100.0);
 
   if (write) {
     aurv::bench::write_json(json_path, results);

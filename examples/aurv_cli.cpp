@@ -31,6 +31,8 @@
 #include "exp/registry.hpp"
 #include "exp/runner.hpp"
 #include "exp/scenario.hpp"
+#include "gatherx/census.hpp"
+#include "gatherx/scenario.hpp"
 #include "sim/engine.hpp"
 #include "support/parse.hpp"
 
@@ -140,12 +142,26 @@ int cmd_adversary(int argc, char** argv) {
 
 int cmd_sweep(int argc, char** argv) {
   if (argc < 1 || argc > 2) return usage("aurv_cli");
-  const exp::ScenarioSpec spec = exp::ScenarioSpec::load(argv[0]);
   exp::CampaignOptions options;
   if (argc == 2) options.threads = support::parse_uint(argv[1], "threads");
-  const exp::CampaignResult result = exp::run_campaign(spec, options);
-  std::printf("%s", result.summary(spec).dump(2).c_str());
-  return 0;
+  // Same kind dispatch as aurv_sweep run: a gather-census spec drives the
+  // gathering census runner, anything else the two-agent campaign runner.
+  // One load + parse; path context is added to either kind's parse error.
+  try {
+    const support::Json spec_json = support::Json::load_file(argv[0]);
+    if (spec_json.string_or("kind", "") == "gather-census") {
+      const gatherx::GatherScenarioSpec spec = gatherx::GatherScenarioSpec::from_json(spec_json);
+      const gatherx::CensusResult result = gatherx::run_census(spec, options);
+      std::printf("%s", result.summary(spec).dump(2).c_str());
+      return 0;
+    }
+    const exp::ScenarioSpec spec = exp::ScenarioSpec::from_json(spec_json);
+    const exp::CampaignResult result = exp::run_campaign(spec, options);
+    std::printf("%s", result.summary(spec).dump(2).c_str());
+    return 0;
+  } catch (const std::invalid_argument& error) {
+    throw std::invalid_argument(std::string(argv[0]) + ": " + error.what());
+  }
 }
 
 }  // namespace

@@ -1,5 +1,6 @@
-// aurv_sweep — campaign and search driver: execute a declarative scenario
-// spec (scenarios/*.json) through the sharded campaign runner, or a search
+// aurv_sweep — campaign, census and search driver: execute a declarative
+// scenario spec (scenarios/*.json) through the sharded campaign runner (a
+// gathering census when the spec's kind is "gather-census"), or a search
 // spec (scenarios/search_*.json) through the deterministic branch-and-bound.
 //
 //   aurv_sweep run <scenario.json> [options]
@@ -39,6 +40,8 @@
 #include "exp/runner.hpp"
 #include "exp/scenario.hpp"
 #include "exp/search_driver.hpp"
+#include "gatherx/census.hpp"
+#include "gatherx/scenario.hpp"
 #include "search/objective.hpp"
 #include "support/parse.hpp"
 
@@ -65,6 +68,8 @@ int cmd_list() {
   for (const std::string& name : exp::algorithm_names()) std::printf(" %s", name.c_str());
   std::printf("\nsamplers:  ");
   for (const std::string& name : exp::sampler_names()) std::printf(" %s", name.c_str());
+  std::printf("\ngather samplers:");
+  for (const std::string& name : exp::gather_sampler_names()) std::printf(" %s", name.c_str());
   std::printf("\nobjectives:");
   for (const std::string& name : search::objective_names()) std::printf(" %s", name.c_str());
   std::printf("\n");
@@ -80,8 +85,30 @@ int cmd_describe(const std::string& path) {
       std::printf("%s", spec.to_json().dump(2).c_str());
       const search::ParamBox root = spec.root_box();
       std::printf("root box width: %s\n", root.width().to_string().c_str());
-      std::printf("root midpoint:  %s\n",
-                  spec.space.instance_at(root.midpoint()).to_string().c_str());
+      if (spec.space.family == search::SearchSpace::Family::GatherTuple) {
+        const std::vector<numeric::Rational> midpoint = root.midpoint();
+        std::printf("root midpoint:  %s policy=%s\n",
+                    spec.space.gather_instance_at(midpoint).to_string().c_str(),
+                    gather::to_string(spec.space.gather_policy_at(midpoint)).c_str());
+      } else {
+        std::printf("root midpoint:  %s\n",
+                    spec.space.instance_at(root.midpoint()).to_string().c_str());
+      }
+      return 0;
+    }
+    if (json.string_or("kind", "") == "gather-census") {
+      const gatherx::GatherScenarioSpec spec = gatherx::GatherScenarioSpec::from_json(json);
+      std::printf("%s", spec.to_json().dump(2).c_str());
+      std::printf("total jobs: %llu (x%zu policies)\n",
+                  static_cast<unsigned long long>(spec.total_jobs()), spec.policies.size());
+      const std::uint64_t preview = std::min<std::uint64_t>(3, spec.total_jobs());
+      for (std::uint64_t job = 0; job < preview; ++job) {
+        const agents::GatherInstance instance = gatherx::census_instance(spec, job);
+        const bool funnel = instance.n() < 2 ||
+                            gather::is_funnel_configuration(instance.agents, instance.r);
+        std::printf("job %llu: %s funnel=%s\n", static_cast<unsigned long long>(job),
+                    instance.to_string().c_str(), funnel ? "yes" : "no");
+      }
       return 0;
     }
     const exp::ScenarioSpec spec = exp::ScenarioSpec::from_json(json);
@@ -190,7 +217,13 @@ int cmd_run(int argc, char** argv) {
     }
   }
 
-  const exp::ScenarioSpec spec = exp::ScenarioSpec::load(spec_path);
+  support::Json spec_json;
+  try {
+    spec_json = support::Json::load_file(spec_path);
+  } catch (const std::exception& error) {
+    throw std::invalid_argument(spec_path + ": " + error.what());
+  }
+
   if (!quiet) {
     options.progress = [](std::uint64_t done, std::uint64_t total) {
       // One status line, overwritten in place; ~64 updates over the run.
@@ -201,25 +234,49 @@ int cmd_run(int argc, char** argv) {
     };
   }
 
-  const exp::CampaignResult result = exp::run_campaign(spec, options);
-  if (!quiet) {
+  // The two sweep kinds share the whole invocation surface; only the spec
+  // type and runner differ.
+  const auto report = [&](std::uint64_t jobs, std::uint64_t jobs_run,
+                          std::uint64_t resumed_shards, bool complete) {
+    if (quiet) return;
     std::fprintf(stderr, "\r%llu/%llu jobs done (%llu run now%s)\n",
                  static_cast<unsigned long long>(
-                     result.complete ? result.jobs
-                                     : result.resumed_shards * options.shard_size +
-                                           result.jobs_run),
-                 static_cast<unsigned long long>(result.jobs),
-                 static_cast<unsigned long long>(result.jobs_run),
-                 result.resumed_shards > 0 ? ", resumed" : "");
+                     complete ? jobs : resumed_shards * options.shard_size + jobs_run),
+                 static_cast<unsigned long long>(jobs),
+                 static_cast<unsigned long long>(jobs_run),
+                 resumed_shards > 0 ? ", resumed" : "");
+  };
+  const auto emit = [&](const support::Json& summary) {
+    if (out_path.empty()) {
+      std::printf("%s", summary.dump(2).c_str());
+    } else {
+      summary.save_file(out_path);
+      if (!quiet) std::fprintf(stderr, "summary written to %s\n", out_path.c_str());
+    }
+  };
+
+  if (spec_json.string_or("kind", "") == "gather-census") {
+    gatherx::GatherScenarioSpec spec;
+    try {
+      spec = gatherx::GatherScenarioSpec::from_json(spec_json);
+    } catch (const std::exception& error) {
+      throw std::invalid_argument(spec_path + ": " + error.what());
+    }
+    const gatherx::CensusResult result = gatherx::run_census(spec, options);
+    report(result.jobs, result.jobs_run, result.resumed_shards, result.complete);
+    emit(result.summary(spec));
+    return result.complete ? 0 : 4;  // 4 = stopped early (max_shards)
   }
 
-  const support::Json summary = result.summary(spec);
-  if (out_path.empty()) {
-    std::printf("%s", summary.dump(2).c_str());
-  } else {
-    summary.save_file(out_path);
-    if (!quiet) std::fprintf(stderr, "summary written to %s\n", out_path.c_str());
+  exp::ScenarioSpec spec;
+  try {
+    spec = exp::ScenarioSpec::from_json(spec_json);
+  } catch (const std::exception& error) {
+    throw std::invalid_argument(spec_path + ": " + error.what());
   }
+  const exp::CampaignResult result = exp::run_campaign(spec, options);
+  report(result.jobs, result.jobs_run, result.resumed_shards, result.complete);
+  emit(result.summary(spec));
   return result.complete ? 0 : 4;  // 4 = stopped early (max_shards)
 }
 

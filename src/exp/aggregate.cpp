@@ -66,18 +66,25 @@ void CampaignAggregate::merge(const CampaignAggregate& other) {
   }
 }
 
-double CampaignAggregate::meet_time_percentile(double p) const {
+double histogram_percentile(
+    const std::array<std::uint64_t, CampaignAggregate::kHistogramBuckets>& histogram,
+    std::uint64_t count, double p, double fallback_max) {
   AURV_CHECK_MSG(p >= 0.0 && p <= 1.0, "percentile out of [0, 1]");
-  if (met == 0) return 0.0;
-  // Rank of the p-quantile among met runs, 1-based, ceil convention.
-  const auto rank = static_cast<std::uint64_t>(
-      std::max(1.0, std::ceil(p * static_cast<double>(met))));
+  if (count == 0) return 0.0;
+  // Rank of the p-quantile, 1-based, ceil convention.
+  const auto rank =
+      static_cast<std::uint64_t>(std::max(1.0, std::ceil(p * static_cast<double>(count))));
   std::uint64_t seen = 0;
-  for (int k = 0; k < kHistogramBuckets; ++k) {
-    seen += meet_time_histogram[static_cast<std::size_t>(k)];
-    if (seen >= rank) return std::ldexp(1.0, k - kHistogramOffset + 1);  // bucket upper edge
+  for (int k = 0; k < CampaignAggregate::kHistogramBuckets; ++k) {
+    seen += histogram[static_cast<std::size_t>(k)];
+    if (seen >= rank)
+      return std::ldexp(1.0, k - CampaignAggregate::kHistogramOffset + 1);  // bucket upper edge
   }
-  return meet_time_max;
+  return fallback_max;
+}
+
+double CampaignAggregate::meet_time_percentile(double p) const {
+  return histogram_percentile(meet_time_histogram, met, p, meet_time_max);
 }
 
 Json CampaignAggregate::to_json() const {

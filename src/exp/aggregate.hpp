@@ -69,4 +69,13 @@ struct CampaignAggregate {
 /// Histogram bucket index for a meet time (exposed for tests).
 [[nodiscard]] int meet_time_bucket(double meet_time);
 
+/// Percentile from a meet_time_bucket-convention log2 histogram: upper edge
+/// of the bucket containing the p-quantile rank among `count` entries
+/// (1-based, ceil convention); `fallback_max` when the rank lies beyond the
+/// last bucket, 0 when count == 0. Shared with the gathering aggregates so
+/// gather and meet percentiles read on one scale.
+[[nodiscard]] double histogram_percentile(
+    const std::array<std::uint64_t, CampaignAggregate::kHistogramBuckets>& histogram,
+    std::uint64_t count, double p, double fallback_max);
+
 }  // namespace aurv::exp

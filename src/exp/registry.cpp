@@ -73,6 +73,21 @@ const std::vector<SamplerEntry>& sampler_registry() {
   return registry;
 }
 
+struct GatherSamplerEntry {
+  const char* name;
+  GatherSamplerFn sampler;
+};
+
+const std::vector<GatherSamplerEntry>& gather_sampler_registry() {
+  static const std::vector<GatherSamplerEntry> registry = {
+      {"disk", agents::sample_gather_disk},
+      {"cluster", agents::sample_gather_cluster},
+      {"ring", agents::sample_gather_ring},
+      {"spread", agents::sample_gather_spread},
+  };
+  return registry;
+}
+
 template <typename Entry, typename Value>
 Value resolve(const std::vector<Entry>& registry, const std::string& name,
               Value Entry::*member, const char* what,
@@ -107,6 +122,24 @@ SamplerFn resolve_sampler(const std::string& name) {
   return resolve(sampler_registry(), name, &SamplerEntry::sampler, "sampler", sampler_names());
 }
 
+GatherSamplerFn resolve_gather_sampler(const std::string& name) {
+  return resolve(gather_sampler_registry(), name, &GatherSamplerEntry::sampler,
+                 "gather sampler", gather_sampler_names());
+}
+
+sim::AlgorithmFactory resolve_common_algorithm(const std::string& name) {
+  if (name == "boundary" || name == "recommended")
+    throw std::invalid_argument(
+        "algorithm \"" + name +
+        "\" dispatches on the two-agent instance under test; gathering runs execute one "
+        "common program on every agent — use aurv, latecomers, cgkk, cgkk-ext or "
+        "wait-and-search");
+  // The remaining entries ignore their instance argument, so any probe works.
+  static const agents::Instance probe =
+      agents::Instance::synchronous(1.0, {2.0, 0.0}, 0.0, 1, +1);
+  return resolve_algorithm(name)(probe);
+}
+
 const std::vector<std::string>& algorithm_names() {
   static const std::vector<std::string> names = names_of(algorithm_registry());
   return names;
@@ -114,6 +147,11 @@ const std::vector<std::string>& algorithm_names() {
 
 const std::vector<std::string>& sampler_names() {
   static const std::vector<std::string> names = names_of(sampler_registry());
+  return names;
+}
+
+const std::vector<std::string>& gather_sampler_names() {
+  static const std::vector<std::string> names = names_of(gather_sampler_registry());
   return names;
 }
 

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "agents/gather_sampler.hpp"
 #include "agents/instance.hpp"
 #include "agents/sampler.hpp"
 #include "sim/engine.hpp"
@@ -25,13 +26,26 @@ using AlgorithmResolver = std::function<sim::AlgorithmFactory(const agents::Inst
 using SamplerFn = std::function<agents::Instance(std::mt19937_64&,
                                                  const agents::SamplerRanges&)>;
 
+/// Draws one n-agent gathering configuration (gatherx censuses).
+using GatherSamplerFn = std::function<agents::GatherInstance(std::mt19937_64&,
+                                                             const agents::GatherSamplerRanges&)>;
+
 /// Resolve by name; throws std::invalid_argument listing the known names on
 /// a miss.
 [[nodiscard]] AlgorithmResolver resolve_algorithm(const std::string& name);
 [[nodiscard]] SamplerFn resolve_sampler(const std::string& name);
+[[nodiscard]] GatherSamplerFn resolve_gather_sampler(const std::string& name);
+
+/// Resolves an algorithm that does not look at the instance under test —
+/// the only kind the gathering pipelines accept, because every agent of a
+/// gathering run executes the *common* program and there is no two-agent
+/// instance to dispatch on. Throws std::invalid_argument for the
+/// instance-aware entries ("boundary", "recommended") and for unknown names.
+[[nodiscard]] sim::AlgorithmFactory resolve_common_algorithm(const std::string& name);
 
 /// Registered names, in registry (presentation) order.
 [[nodiscard]] const std::vector<std::string>& algorithm_names();
 [[nodiscard]] const std::vector<std::string>& sampler_names();
+[[nodiscard]] const std::vector<std::string>& gather_sampler_names();
 
 }  // namespace aurv::exp

@@ -1,16 +1,10 @@
 #include "exp/runner.hpp"
 
-#include <algorithm>
-#include <filesystem>
-#include <map>
-#include <mutex>
 #include <random>
-#include <stdexcept>
 
 #include "exp/registry.hpp"
+#include "exp/stream_runner.hpp"
 #include "support/check.hpp"
-#include "support/jsonl.hpp"
-#include "support/parallel.hpp"
 
 namespace aurv::exp {
 
@@ -28,48 +22,6 @@ std::string jsonl_record(std::uint64_t job, const sim::SimResult& result) {
   record.set("events", Json(result.events));
   record.set("min_distance", Json(result.min_distance_seen));
   return record.dump() + "\n";
-}
-
-struct CheckpointState {
-  std::uint64_t completed_shards = 0;
-  std::uint64_t jsonl_bytes = 0;
-  CampaignAggregate aggregate;
-};
-
-Json checkpoint_to_json(const ScenarioSpec& spec, const CampaignOptions& options,
-                        const CheckpointState& state) {
-  Json json = Json::object();
-  json.set("schema", Json(std::uint64_t{1}));
-  json.set("kind", Json("campaign-checkpoint"));
-  json.set("fingerprint", Json(support::fingerprint_hex(spec.fingerprint())));
-  json.set("shard_size", Json(static_cast<std::uint64_t>(options.shard_size)));
-  json.set("jsonl_path", Json(options.jsonl_path));
-  json.set("completed_shards", Json(state.completed_shards));
-  json.set("jsonl_bytes", Json(state.jsonl_bytes));
-  json.set("aggregate", state.aggregate.to_json());
-  return json;
-}
-
-CheckpointState checkpoint_from_json(const Json& json, const ScenarioSpec& spec,
-                                     const CampaignOptions& options) {
-  if (json.string_or("kind", "") != "campaign-checkpoint")
-    throw std::invalid_argument("checkpoint: not a campaign-checkpoint file");
-  if (json.at("fingerprint").as_string() != support::fingerprint_hex(spec.fingerprint()))
-    throw std::invalid_argument(
-        "checkpoint: scenario fingerprint mismatch (spec edited since the checkpoint "
-        "was written; delete the checkpoint to start over)");
-  if (json.at("shard_size").as_uint() != options.shard_size)
-    throw std::invalid_argument("checkpoint: shard_size mismatch (resume with --shard-size " +
-                                std::to_string(json.at("shard_size").as_uint()) + ")");
-  if (json.at("jsonl_path").as_string() != options.jsonl_path)
-    throw std::invalid_argument(
-        "checkpoint: --jsonl path differs from the original run's (\"" +
-        json.at("jsonl_path").as_string() + "\"); resuming would truncate the wrong file");
-  CheckpointState state;
-  state.completed_shards = json.at("completed_shards").as_uint();
-  state.jsonl_bytes = json.at("jsonl_bytes").as_uint();
-  state.aggregate = CampaignAggregate::from_json(json.at("aggregate"));
-  return state;
 }
 
 }  // namespace
@@ -104,118 +56,22 @@ Json CampaignResult::summary(const ScenarioSpec& spec) const {
 }
 
 CampaignResult run_campaign(const ScenarioSpec& spec, const CampaignOptions& options) {
-  AURV_CHECK_MSG(options.shard_size >= 1, "shard_size must be >= 1");
-  AURV_CHECK_MSG(options.checkpoint_every >= 1, "checkpoint_every must be >= 1");
-
-  const std::uint64_t total_jobs = spec.total_jobs();
-  AURV_CHECK_MSG(total_jobs >= 1, "campaign has no jobs");
-  const std::uint64_t total_shards = (total_jobs + options.shard_size - 1) / options.shard_size;
-
   const AlgorithmResolver resolver = resolve_algorithm(spec.algorithm);
-
-  CheckpointState state;  // completed prefix (empty unless resuming)
-  if (options.resume && !options.checkpoint_path.empty() &&
-      std::filesystem::exists(options.checkpoint_path)) {
-    state = checkpoint_from_json(Json::load_file(options.checkpoint_path), spec, options);
-    if (state.completed_shards > total_shards)
-      throw std::invalid_argument("checkpoint: more shards than the campaign has");
-  }
+  StreamRunResult<CampaignAggregate> stream = run_checkpointed_stream<CampaignAggregate>(
+      "campaign-checkpoint", spec.fingerprint(), spec.total_jobs(), options,
+      [&](std::uint64_t job, CampaignAggregate& aggregate, std::string* jsonl) {
+        const agents::Instance instance = campaign_instance(spec, job);
+        const sim::SimResult run = sim::Engine(instance, spec.engine).run(resolver(instance));
+        aggregate.add(run);
+        if (jsonl != nullptr) *jsonl += jsonl_record(job, run);
+      });
 
   CampaignResult result;
-  result.jobs = total_jobs;
-  result.resumed_shards = state.completed_shards;
-
-  const std::uint64_t start_shard = state.completed_shards;
-  std::uint64_t end_shard = total_shards;
-  if (options.max_shards > 0)
-    end_shard = std::min(end_shard, start_shard + options.max_shards);
-
-  support::JsonlSink jsonl(options.jsonl_path,
-                           start_shard > 0 ? state.jsonl_bytes : 0);
-
-  struct ShardOutput {
-    CampaignAggregate aggregate;
-    std::string jsonl;
-  };
-  std::mutex stash_mutex;
-  // Size bounded by the runner's max_in_flight window (set below), even
-  // when one slow shard stalls the in-order drain while fast workers race
-  // ahead — that bound is what keeps huge campaigns constant-memory.
-  std::map<std::uint64_t, ShardOutput> stash;
-
-  const bool want_jsonl = !options.jsonl_path.empty();
-  const auto job_range = [&](std::uint64_t shard) {
-    const std::uint64_t lo = shard * options.shard_size;
-    const std::uint64_t hi = std::min<std::uint64_t>(total_jobs, lo + options.shard_size);
-    return std::pair{lo, hi};
-  };
-
-  const auto body = [&](std::size_t local_shard) {
-    const std::uint64_t shard = start_shard + local_shard;
-    const auto [lo, hi] = job_range(shard);
-    ShardOutput output;
-    for (std::uint64_t job = lo; job < hi; ++job) {
-      const agents::Instance instance = campaign_instance(spec, job);
-      const sim::SimResult run =
-          sim::Engine(instance, spec.engine).run(resolver(instance));
-      output.aggregate.add(run);
-      if (want_jsonl) output.jsonl += jsonl_record(job, run);
-    }
-    const std::scoped_lock lock(stash_mutex);
-    stash.emplace(shard, std::move(output));
-  };
-
-  const auto complete = [&](std::size_t local_shard) {
-    const std::uint64_t shard = start_shard + local_shard;
-    ShardOutput output;
-    {
-      const std::scoped_lock lock(stash_mutex);
-      const auto found = stash.find(shard);
-      AURV_CHECK_MSG(found != stash.end(), "shard output missing at completion");
-      output = std::move(found->second);
-      stash.erase(found);
-    }
-    state.aggregate.merge(output.aggregate);
-    jsonl.append(output.jsonl);
-    state.completed_shards = shard + 1;
-    state.jsonl_bytes = jsonl.bytes();
-    if (!options.checkpoint_path.empty() &&
-        ((shard + 1) % options.checkpoint_every == 0 || shard + 1 == total_shards)) {
-      jsonl.flush();
-      support::save_json_atomically(options.checkpoint_path,
-                                    checkpoint_to_json(spec, options, state));
-    }
-    if (options.progress) {
-      const auto [lo, hi] = job_range(shard);
-      (void)lo;
-      options.progress(hi, total_jobs);
-    }
-  };
-
-  if (end_shard > start_shard) {
-    support::ShardedRunOptions sharded;
-    sharded.threads = options.threads;
-    sharded.max_in_flight = 16;  // stash stays O(window), not O(total shards)
-    support::run_sharded(static_cast<std::size_t>(end_shard - start_shard), body, complete,
-                         sharded);
-  }
-
-  // If the run was cut short (max_shards) with checkpointing on, persist the
-  // frontier even when it does not land on a checkpoint_every boundary, so
-  // the next invocation resumes from exactly where this one stopped.
-  result.complete = state.completed_shards == total_shards;
-  if (!result.complete && !options.checkpoint_path.empty()) {
-    jsonl.flush();
-    support::save_json_atomically(options.checkpoint_path,
-                                  checkpoint_to_json(spec, options, state));
-  }
-
-  result.aggregate = state.aggregate;
-  const std::uint64_t start_jobs = std::min(total_jobs, start_shard * options.shard_size);
-  const std::uint64_t done_jobs = state.completed_shards == total_shards
-                                      ? total_jobs
-                                      : state.completed_shards * options.shard_size;
-  result.jobs_run = done_jobs - start_jobs;
+  result.aggregate = std::move(stream.aggregate);
+  result.jobs = stream.jobs;
+  result.jobs_run = stream.jobs_run;
+  result.resumed_shards = stream.resumed_shards;
+  result.complete = stream.complete;
   return result;
 }
 

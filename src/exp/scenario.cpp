@@ -1,10 +1,10 @@
 #include "exp/scenario.hpp"
 
-#include <initializer_list>
 #include <stdexcept>
-#include <string_view>
+#include <utility>
 
 #include "exp/registry.hpp"
+#include "exp/spec_util.hpp"
 #include "support/check.hpp"
 
 namespace aurv::exp {
@@ -12,35 +12,6 @@ namespace aurv::exp {
 using support::Json;
 
 namespace {
-
-/// Strictness: every key of `json` must be in `allowed`.
-void check_keys(const Json& json, std::initializer_list<std::string_view> allowed,
-                const char* context) {
-  for (const auto& [key, value] : json.as_object()) {
-    bool known = false;
-    for (const std::string_view candidate : allowed) known = known || key == candidate;
-    if (!known)
-      throw std::invalid_argument(std::string("scenario: unknown key \"") + key + "\" in " +
-                                  context);
-  }
-}
-
-numeric::Rational rational_from(const Json& json, const char* what) {
-  if (json.is_string()) return numeric::Rational::from_string(json.as_string());
-  if (json.is_number()) return numeric::Rational::from_double(json.as_number());
-  throw std::invalid_argument(std::string("scenario: ") + what +
-                              " must be a number or a rational string");
-}
-
-Json rational_to(const numeric::Rational& value) {
-  // Small integers render as JSON numbers (friendlier to read and edit);
-  // everything else as an exact "num/den" string.
-  const std::string text = value.to_string();
-  if (text.find('/') == std::string::npos && text.size() <= 15) {
-    return Json(static_cast<double>(std::stoll(text)));
-  }
-  return Json(text);
-}
 
 agents::Instance instance_from(const Json& json) {
   check_keys(json, {"r", "x", "y", "phi", "tau", "v", "t", "chi"}, "grid instance");
@@ -88,32 +59,6 @@ Json ranges_to(const agents::SamplerRanges& ranges) {
   json.set("dist_max", Json(ranges.dist_max));
   json.set("margin_min", Json(ranges.margin_min));
   json.set("margin_max", Json(ranges.margin_max));
-  return json;
-}
-
-sim::EngineConfig engine_from(const Json& json) {
-  check_keys(json, {"max_events", "contact_slack", "horizon", "r_a", "r_b"}, "engine");
-  sim::EngineConfig config;
-  config.max_events = json.uint_or("max_events", config.max_events);
-  config.contact_slack = json.number_or("contact_slack", config.contact_slack);
-  if (const Json* horizon = json.find("horizon"); horizon != nullptr && !horizon->is_null())
-    config.horizon = rational_from(*horizon, "horizon");
-  if (const Json* r_a = json.find("r_a"); r_a != nullptr && !r_a->is_null())
-    config.r_a = r_a->as_number();
-  if (const Json* r_b = json.find("r_b"); r_b != nullptr && !r_b->is_null())
-    config.r_b = r_b->as_number();
-  // trace_capacity deliberately not exposed: a campaign recording traces
-  // would not be constant-memory.
-  return config;
-}
-
-Json engine_to(const sim::EngineConfig& config) {
-  Json json = Json::object();
-  json.set("max_events", Json(config.max_events));
-  json.set("contact_slack", Json(config.contact_slack));
-  if (config.horizon) json.set("horizon", rational_to(*config.horizon));
-  if (config.r_a) json.set("r_a", Json(*config.r_a));
-  if (config.r_b) json.set("r_b", Json(*config.r_b));
   return json;
 }
 
@@ -203,20 +148,6 @@ ScenarioSpec ScenarioSpec::load(const std::string& path) {
 
 void ScenarioSpec::save(const std::string& path) const { to_json().save_file(path); }
 
-namespace {
-
-std::uint64_t fnv1a_fingerprint(const Json& json) {
-  const std::string canonical = json.dump();
-  std::uint64_t hash = 1469598103934665603ull;  // FNV-1a 64
-  for (const char c : canonical) {
-    hash ^= static_cast<unsigned char>(c);
-    hash *= 1099511628211ull;
-  }
-  return hash;
-}
-
-}  // namespace
-
 std::uint64_t ScenarioSpec::fingerprint() const { return fnv1a_fingerprint(to_json()); }
 
 // -------------------------------------------------------------- SearchSpec --
@@ -283,12 +214,33 @@ SearchSpec SearchSpec::from_json(const Json& json) {
 
   if (const Json* engine = json.find("engine")) spec.engine = engine_from(*engine);
 
-  // Fail at load time, not at box 0: the algorithm must resolve and the
-  // objective must accept the space (e.g. boundary-distance rejects
-  // non-synchronous tuple spaces).
-  (void)search::make_objective(spec.objective, spec.space, resolve_algorithm(spec.algorithm),
+  // Fail at load time, not at box 0: the algorithm must resolve (as a
+  // common program for gather-tuple) and the objective must accept the
+  // space (e.g. boundary-distance rejects non-synchronous tuple spaces).
+  (void)search::make_objective(spec.objective, spec.space, search_algorithm_resolver(spec),
                                spec.engine);
+  if (spec.space.family == search::SearchSpace::Family::GatherTuple) {
+    // The gather point-to-chain mapping throws on negative delays and the
+    // engine on r <= 0 — refuse such boxes here rather than from a worker
+    // shard halfway through the search.
+    const search::ParamBox root = spec.root_box();
+    if (spec.space.param_interval("delay", root).lo.is_negative())
+      throw std::invalid_argument(
+          "search spec: gather-tuple delay must be >= 0 over the whole box (wake-up "
+          "times are nonnegative by model)");
+    if (spec.space.param_interval("r", root).lo.sign() <= 0)
+      throw std::invalid_argument(
+          "search spec: gather-tuple r must be positive over the whole box");
+  }
   return spec;
+}
+
+search::AlgorithmResolverFn search_algorithm_resolver(const SearchSpec& spec) {
+  if (spec.space.family == search::SearchSpace::Family::GatherTuple) {
+    sim::AlgorithmFactory common = resolve_common_algorithm(spec.algorithm);
+    return [common = std::move(common)](const agents::Instance&) { return common; };
+  }
+  return resolve_algorithm(spec.algorithm);
 }
 
 Json SearchSpec::to_json() const {

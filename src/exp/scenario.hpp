@@ -149,4 +149,11 @@ struct SearchSpec {
   [[nodiscard]] std::uint64_t fingerprint() const;
 };
 
+/// The algorithm resolver a SearchSpec's objective drives: instance-aware
+/// (registry resolver) for the two-agent families, instance-blind for
+/// gather-tuple — gathering runs one *common* program on every agent, so
+/// instance-dispatching entries ("boundary", "recommended") are rejected
+/// via resolve_common_algorithm. Throws std::invalid_argument accordingly.
+[[nodiscard]] search::AlgorithmResolverFn search_algorithm_resolver(const SearchSpec& spec);
+
 }  // namespace aurv::exp

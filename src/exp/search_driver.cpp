@@ -19,7 +19,7 @@ Json SearchRunResult::certificate(const SearchSpec& spec) const {
 
 SearchRunResult run_search(const SearchSpec& spec, const SearchOptions& options) {
   const std::unique_ptr<search::Objective> objective = search::make_objective(
-      spec.objective, spec.space, resolve_algorithm(spec.algorithm), spec.engine);
+      spec.objective, spec.space, search_algorithm_resolver(spec), spec.engine);
 
   search::BnbOptions bnb_options;
   bnb_options.max_shards = options.max_shards;

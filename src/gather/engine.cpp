@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <stdexcept>
 #include <utility>
 
 #include "geom/closest_approach.hpp"
@@ -109,6 +110,13 @@ std::string to_string(StopPolicy policy) {
   return policy == StopPolicy::FirstSight ? "first-sight" : "all-visible";
 }
 
+StopPolicy policy_from_string(const std::string& name) {
+  if (name == "first-sight") return StopPolicy::FirstSight;
+  if (name == "all-visible") return StopPolicy::AllVisible;
+  throw std::invalid_argument("gather: unknown stop policy \"" + name +
+                              "\"; known: first-sight, all-visible");
+}
+
 std::string to_string(GatherStop reason) {
   switch (reason) {
     case GatherStop::Gathered: return "gathered";
@@ -117,6 +125,11 @@ std::string to_string(GatherStop reason) {
     case GatherStop::HorizonReached: return "horizon-reached";
   }
   return "unknown";
+}
+
+double default_success_diameter(StopPolicy policy, std::size_t n, double r) {
+  if (policy == StopPolicy::AllVisible || n <= 1) return r;
+  return static_cast<double>(n - 1) * r + 1e-6;
 }
 
 bool is_funnel_configuration(const std::vector<GatherAgent>& agents, double r) {
@@ -135,7 +148,7 @@ bool is_funnel_configuration(const std::vector<GatherAgent>& agents, double r) {
 
 GatherEngine::GatherEngine(std::vector<GatherAgent> agents, GatherConfig config)
     : agents_(std::move(agents)), config_(std::move(config)) {
-  AURV_CHECK_MSG(agents_.size() >= 2, "GatherEngine: need at least two agents");
+  AURV_CHECK_MSG(!agents_.empty(), "GatherEngine: need at least one agent");
   AURV_CHECK_MSG(config_.r > 0.0, "GatherEngine: r must be positive");
   for (const GatherAgent& agent : agents_) {
     AURV_CHECK_MSG(agent.wake.sign() >= 0, "GatherEngine: wake times must be nonnegative");
@@ -155,6 +168,19 @@ GatherResult GatherEngine::run(const sim::AlgorithmFactory& factory) const {
   GatherResult result;
   result.min_diameter_seen = std::numeric_limits<double>::infinity();
   Rational now = 0;
+
+  // n = 1 is trivially gathered: the configuration's diameter is 0 from the
+  // start, under either stop policy. (The simulation loop below would agree,
+  // but only after running the lone agent's program to exhaustion.)
+  if (n == 1) {
+    states.front().freeze_at(now);
+    result.min_diameter_seen = 0.0;
+    result.reason = GatherStop::Gathered;
+    result.gathered = true;
+    result.positions.push_back(states.front().position_at(now));
+    result.frozen.push_back(true);
+    return result;
+  }
 
   const auto finish = [&](GatherStop reason, const Rational& time) {
     result.reason = reason;

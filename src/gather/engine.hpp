@@ -46,6 +46,9 @@ struct GatherAgent {
 enum class StopPolicy : std::uint8_t { FirstSight, AllVisible };
 
 [[nodiscard]] std::string to_string(StopPolicy policy);
+/// Inverse of to_string ("first-sight" / "all-visible"); throws
+/// std::invalid_argument naming the known spellings otherwise.
+[[nodiscard]] StopPolicy policy_from_string(const std::string& name);
 
 struct GatherConfig {
   double r = 1.0;                      ///< visibility radius (common)
@@ -84,7 +87,8 @@ struct GatherResult {
 
 class GatherEngine {
  public:
-  /// Requires at least two agents and positive r (checked).
+  /// Requires at least one agent and positive r (checked). A single agent
+  /// is trivially gathered (diameter 0) at time 0 under either policy.
   GatherEngine(std::vector<GatherAgent> agents, GatherConfig config);
 
   /// Runs the common program produced by `factory` on every agent.
@@ -96,6 +100,14 @@ class GatherEngine {
   std::vector<GatherAgent> agents_;
   GatherConfig config_;
 };
+
+/// The policy-natural success diameter when a config does not pin one:
+/// AllVisible targets r (everyone mutually visible); FirstSight accretes
+/// chains of up to n - 1 hops, so it targets (n - 1) * r plus a small
+/// absolute slack absorbing the per-freeze contact round-off. The census
+/// driver and the max-gather-time search objective share this default, so
+/// "gathered" means the same thing in both pipelines.
+[[nodiscard]] double default_success_diameter(StopPolicy policy, std::size_t n, double r);
 
 /// The sufficient "good configuration" condition of [38] specialized to two
 /// agents is t > dist - r relative to the earliest agent; this predicate is

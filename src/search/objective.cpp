@@ -35,16 +35,23 @@ struct ParamDefault {
 };
 
 const std::vector<ParamDefault>& defaults_of(SearchSpace::Family family) {
+  // r_a/r_b carry a 0 sentinel: "not specified here" — the effective value
+  // then falls back to the engine config override or the instance r
+  // (SearchSpace::specifies distinguishes the cases; the defaults below are
+  // never fed to the engine).
   static const std::vector<ParamDefault> tuple = {
       {"r", 1, 1}, {"x", 2, 1}, {"y", 0, 1}, {"phi", 0, 1},
-      {"tau", 1, 1}, {"v", 1, 1}, {"t", 0, 1}};
+      {"tau", 1, 1}, {"v", 1, 1}, {"t", 0, 1}, {"r_a", 0, 1}, {"r_b", 0, 1}};
   static const std::vector<ParamDefault> s1 = {{"theta", 0, 1}, {"r", 1, 1}, {"t", 2, 1}};
   static const std::vector<ParamDefault> s2 = {
       {"half_phi", 0, 1}, {"lateral", 7, 5}, {"r", 1, 1}, {"t", 2, 1}};
+  static const std::vector<ParamDefault> gather = {
+      {"n", 3, 1}, {"r", 1, 1}, {"spread", 2, 1}, {"delay", 2, 1}, {"policy", 1, 1}};
   switch (family) {
     case SearchSpace::Family::Tuple: return tuple;
     case SearchSpace::Family::BoundaryS1: return s1;
     case SearchSpace::Family::BoundaryS2: return s2;
+    case SearchSpace::Family::GatherTuple: return gather;
   }
   throw std::logic_error("SearchSpace: unknown family");
 }
@@ -73,13 +80,16 @@ DInterval abs_interval(DInterval x) {
 // ------------------------------------------------------------ SearchSpace --
 
 const std::vector<std::string>& SearchSpace::param_names(Family family) {
-  static const std::vector<std::string> tuple = {"r", "x", "y", "phi", "tau", "v", "t"};
+  static const std::vector<std::string> tuple = {"r",   "x", "y", "phi", "tau",
+                                                 "v",   "t", "r_a", "r_b"};
   static const std::vector<std::string> s1 = {"theta", "r", "t"};
   static const std::vector<std::string> s2 = {"half_phi", "lateral", "r", "t"};
+  static const std::vector<std::string> gather = {"n", "r", "spread", "delay", "policy"};
   switch (family) {
     case Family::Tuple: return tuple;
     case Family::BoundaryS1: return s1;
     case Family::BoundaryS2: return s2;
+    case Family::GatherTuple: return gather;
   }
   throw std::logic_error("SearchSpace: unknown family");
 }
@@ -89,6 +99,7 @@ std::string SearchSpace::to_string(Family family) {
     case Family::Tuple: return "tuple";
     case Family::BoundaryS1: return "boundary-s1";
     case Family::BoundaryS2: return "boundary-s2";
+    case Family::GatherTuple: return "gather-tuple";
   }
   throw std::logic_error("SearchSpace: unknown family");
 }
@@ -97,8 +108,9 @@ SearchSpace::Family SearchSpace::family_from_string(const std::string& name) {
   if (name == "tuple") return Family::Tuple;
   if (name == "boundary-s1") return Family::BoundaryS1;
   if (name == "boundary-s2") return Family::BoundaryS2;
+  if (name == "gather-tuple") return Family::GatherTuple;
   throw std::invalid_argument("search space: unknown family \"" + name +
-                              "\"; known: tuple, boundary-s1, boundary-s2");
+                              "\"; known: tuple, boundary-s1, boundary-s2, gather-tuple");
 }
 
 void SearchSpace::validate() const {
@@ -145,6 +157,15 @@ Rational SearchSpace::param(const std::string& name,
   throw std::invalid_argument("search space: no such parameter \"" + name + "\"");
 }
 
+bool SearchSpace::specifies(const std::string& name) const {
+  if (std::find(dim_names.begin(), dim_names.end(), name) != dim_names.end()) return true;
+  for (const auto& [fixed_name, value] : fixed) {
+    (void)value;
+    if (fixed_name == name) return true;
+  }
+  return false;
+}
+
 Interval SearchSpace::param_interval(const std::string& name, const ParamBox& box) const {
   const auto dim = std::find(dim_names.begin(), dim_names.end(), name);
   if (dim != dim_names.end()) {
@@ -154,6 +175,50 @@ Interval SearchSpace::param_interval(const std::string& name, const ParamBox& bo
   }
   const Rational value = param(name, {});
   return Interval{value, value};
+}
+
+namespace {
+
+/// The integer denoted by a gather-tuple n coordinate: its floor, clamped
+/// to [1, kMaxGatherAgents]. Exact despite the double hint — the hint is
+/// corrected with rational comparisons, so a coordinate sitting on an
+/// integer always lands on that integer at any magnitude.
+long long gather_agent_count(const Rational& coordinate) {
+  long long n = static_cast<long long>(std::floor(coordinate.to_double()));
+  n = std::clamp(n, 1ll, SearchSpace::kMaxGatherAgents);
+  while (n < SearchSpace::kMaxGatherAgents && Rational(n + 1) <= coordinate) ++n;
+  while (n > 1 && Rational(n) > coordinate) --n;
+  return n;
+}
+
+}  // namespace
+
+agents::GatherInstance SearchSpace::gather_instance_at(const std::vector<Rational>& point) const {
+  if (family != Family::GatherTuple)
+    throw std::logic_error("SearchSpace: gather_instance_at on a two-agent family");
+  agents::GatherInstance instance;
+  instance.r = param("r", point).to_double();
+  const long long n = gather_agent_count(param("n", point));
+  const double spread = param("spread", point).to_double();
+  const Rational delay = param("delay", point);
+  if (delay.is_negative())
+    throw std::invalid_argument(
+        "gather-tuple: delay must be nonnegative (wake-up times are nonnegative by model)");
+  Rational wake = 0;
+  for (long long k = 0; k < n; ++k) {
+    instance.agents.push_back(
+        {geom::Vec2{static_cast<double>(k) * spread, 0.0}, wake});
+    wake += delay;
+  }
+  return instance;
+}
+
+gather::StopPolicy SearchSpace::gather_policy_at(const std::vector<Rational>& point) const {
+  if (family != Family::GatherTuple)
+    throw std::logic_error("SearchSpace: gather_policy_at on a two-agent family");
+  return param("policy", point) < Rational(numeric::BigInt(1), numeric::BigInt(2))
+             ? gather::StopPolicy::FirstSight
+             : gather::StopPolicy::AllVisible;
 }
 
 agents::Instance SearchSpace::instance_at(const std::vector<Rational>& point) const {
@@ -186,6 +251,9 @@ agents::Instance SearchSpace::instance_at(const std::vector<Rational>& point) co
       const double phi = geom::normalize_angle(2.0 * half_phi);
       return agents::Instance::synchronous(r, b, phi, t, /*chi=*/-1);
     }
+    case Family::GatherTuple:
+      throw std::logic_error(
+          "SearchSpace: instance_at on the gather-tuple family (use gather_instance_at)");
   }
   throw std::logic_error("SearchSpace: unknown family");
 }
@@ -263,37 +331,69 @@ class SimObjective : public Objective {
 
  protected:
   [[nodiscard]] Evaluation simulate(const std::vector<Rational>& point) const {
-    return simulate(space_.instance_at(point));
+    return simulate(space_.instance_at(point), effective_config(point));
   }
 
-  [[nodiscard]] Evaluation simulate(const agents::Instance& instance) const {
-    const sim::SimResult run = sim::Engine(instance, config_).run(algorithm_(instance));
+  [[nodiscard]] Evaluation simulate(const agents::Instance& instance,
+                                    const sim::EngineConfig& config) const {
+    const sim::SimResult run = sim::Engine(instance, config).run(algorithm_(instance));
     Evaluation evaluation;
     evaluation.met = run.met;
     evaluation.meet_time = run.meet_time;
     evaluation.min_distance = run.min_distance_seen;
-    evaluation.clearance = run.min_distance_seen - rendezvous_radius(instance.r());
+    evaluation.clearance =
+        run.min_distance_seen - std::min(config.r_a.value_or(instance.r()),
+                                         config.r_b.value_or(instance.r()));
     evaluation.events = run.events;
     evaluation.stop_reason = sim::to_string(run.reason);
     evaluation.instance = instance.to_string();
     return evaluation;
   }
 
-  /// The distance at which the run succeeds: min over the per-agent radii
-  /// (Section 5 overrides taken into account).
-  [[nodiscard]] double rendezvous_radius(double instance_r) const {
-    return std::min(config_.r_a.value_or(instance_r), config_.r_b.value_or(instance_r));
+  /// The engine config a point runs under: the objective's config with the
+  /// tuple family's searched/pinned r_a / r_b written in (Section 5
+  /// distinct radii as search dimensions).
+  [[nodiscard]] sim::EngineConfig effective_config(const std::vector<Rational>& point) const {
+    sim::EngineConfig config = config_;
+    if (space_.family == SearchSpace::Family::Tuple) {
+      if (space_.specifies("r_a")) config.r_a = space_.param("r_a", point).to_double();
+      if (space_.specifies("r_b")) config.r_b = space_.param("r_b", point).to_double();
+    }
+    return config;
   }
 
-  /// Interval of the Theorem 3.1 boundary slack t - (d - r) over `box`,
-  /// where d is dist (chi = +1, phi pinned to 0) or dist(projA, projB)
-  /// (chi = -1). Valid only for synchronous tuple spaces. The returned
-  /// interval is already widened outward by bound_slop of the largest
-  /// participating magnitude, so it stays conservative under double
-  /// round-off at any coordinate scale.
-  [[nodiscard]] DInterval slack_interval(const ParamBox& box) const {
+  /// Interval of one per-agent radius over `box`: the space's r_a/r_b
+  /// dimension if searched or pinned there, else the engine config's
+  /// override, else the instance radius r.
+  [[nodiscard]] DInterval per_agent_radius_interval(const ParamBox& box, const char* which,
+                                                    const std::optional<double>& override)
+      const {
+    if (space_.family == SearchSpace::Family::Tuple && space_.specifies(which))
+      return view(space_.param_interval(which, box));
+    if (override) return {*override, *override};
+    return view(space_.param_interval("r", box));
+  }
+
+  /// Interval of the rendezvous radius min(r_a, r_b) over `box` — the
+  /// distance at which a run succeeds, and the radius the Theorem 3.1
+  /// necessity argument holds for under Section 5 distinct radii (meeting
+  /// requires the distance to reach the *smaller* radius).
+  [[nodiscard]] DInterval rendezvous_radius_interval(const ParamBox& box) const {
+    const DInterval r_a = per_agent_radius_interval(box, "r_a", config_.r_a);
+    const DInterval r_b = per_agent_radius_interval(box, "r_b", config_.r_b);
+    return {std::min(r_a.lo, r_b.lo), std::min(r_a.hi, r_b.hi)};
+  }
+
+  /// Interval of the Theorem 3.1 boundary slack t - (d - r) over `box` for
+  /// the caller-chosen radius interval `r` (the rendezvous radius for
+  /// feasibility pruning, the instance r for the analytic boundary
+  /// distance), where d is dist (chi = +1, phi pinned to 0) or
+  /// dist(projA, projB) (chi = -1). Valid only for synchronous tuple
+  /// spaces. The returned interval is already widened outward by
+  /// bound_slop of the largest participating magnitude, so it stays
+  /// conservative under double round-off at any coordinate scale.
+  [[nodiscard]] DInterval slack_interval(const ParamBox& box, const DInterval& r) const {
     const DInterval t = view(space_.param_interval("t", box));
-    const DInterval r = view(space_.param_interval("r", box));
     const DInterval x = abs_interval(view(space_.param_interval("x", box)));
     const DInterval y = abs_interval(view(space_.param_interval("y", box)));
     DInterval d{0.0, std::hypot(x.hi, y.hi)};  // 0 <= d <= dist_hi always
@@ -332,7 +432,8 @@ class SimObjective : public Objective {
 
   /// True when the whole box is provably infeasible under Theorem 3.1
   /// (synchronous, boundary slack entirely negative); such boxes can never
-  /// produce a meeting.
+  /// produce a meeting. With distinct radii the slack uses min(r_a, r_b):
+  /// reaching the smaller radius is necessary for a rendezvous.
   [[nodiscard]] bool provably_infeasible(const ParamBox& box) const {
     if (space_.family != SearchSpace::Family::Tuple) return false;  // manifolds are feasible
     if (!space_.synchronous()) return false;  // tau != 1 or v != 1: always feasible
@@ -340,7 +441,8 @@ class SimObjective : public Objective {
       const Interval phi = space_.param_interval("phi", box);
       if (!phi.is_point() || !phi.lo.is_zero()) return false;  // phi != 0: always feasible
     }
-    return slack_interval(box).hi < 0.0;  // the interval is already slop-widened
+    // The interval is already slop-widened.
+    return slack_interval(box, rendezvous_radius_interval(box)).hi < 0.0;
   }
 
   SearchSpace space_;
@@ -386,10 +488,9 @@ class NearMissObjective final : public SimObjective {
   }
 
   [[nodiscard]] double bound(const ParamBox& box) const override {
-    // Distances are nonnegative, so -(clearance) <= rendezvous radius; with
-    // per-agent overrides the radius no longer depends on the box at all.
-    const DInterval r = view(space_.param_interval("r", box));
-    const double radius = rendezvous_radius(r.hi);
+    // Distances are nonnegative, so -(clearance) <= rendezvous radius
+    // (min(r_a, r_b) with Section 5 overrides, searched or config-fixed).
+    const double radius = rendezvous_radius_interval(box).hi;
     return radius + bound_slop(radius);
   }
 };
@@ -404,7 +505,10 @@ class BoundaryDistanceObjective final : public SimObjective {
 
   [[nodiscard]] Evaluation evaluate(const std::vector<Rational>& point) const override {
     const agents::Instance instance = space_.instance_at(point);
-    Evaluation evaluation = simulate(instance);
+    // effective_config so searched/pinned r_a/r_b reach the engine here
+    // too: the analytic score ignores them, but the certificate's
+    // evaluation record must describe the run the spec declares.
+    Evaluation evaluation = simulate(instance, effective_config(point));
     const core::Classification c = core::classify(instance);
     evaluation.score = -std::fabs(c.boundary_slack);
     return evaluation;
@@ -412,17 +516,117 @@ class BoundaryDistanceObjective final : public SimObjective {
 
   [[nodiscard]] double bound(const ParamBox& box) const override {
     if (space_.family != SearchSpace::Family::Tuple) return 0.0;  // manifolds: slack == 0
-    const DInterval slack = slack_interval(box);  // already slop-widened
+    // The analytic boundary slack (core::classify) is defined on the
+    // instance r, not the per-agent overrides — mirror it exactly.
+    const DInterval r = view(space_.param_interval("r", box));
+    const DInterval slack = slack_interval(box, r);  // already slop-widened
     const DInterval magnitude = abs_interval(slack);
     return -std::max(0.0, magnitude.lo);
   }
+};
+
+/// Section 5's open problem, cost side: the n-agent chain on which the
+/// common program takes longest to gather. Not a SimObjective — the oracle
+/// is the gathering engine, and the common program is resolved *once* (no
+/// two-agent instance to dispatch on).
+class MaxGatherTimeObjective final : public Objective {
+ public:
+  MaxGatherTimeObjective(SearchSpace space, sim::AlgorithmFactory factory,
+                         sim::EngineConfig config)
+      : space_(std::move(space)), factory_(std::move(factory)), config_(std::move(config)) {}
+
+  [[nodiscard]] std::string name() const override { return "max-gather-time"; }
+
+  [[nodiscard]] Evaluation evaluate(const std::vector<Rational>& point) const override {
+    const agents::GatherInstance instance = space_.gather_instance_at(point);
+    const gather::StopPolicy policy = space_.gather_policy_at(point);
+    gather::GatherConfig config;
+    config.r = instance.r;
+    config.policy = policy;
+    config.success_diameter =
+        gather::default_success_diameter(policy, instance.n(), instance.r);
+    config.contact_slack = config_.contact_slack;
+    config.max_events = config_.max_events;
+    config.horizon = config_.horizon;
+    const gather::GatherResult run =
+        gather::GatherEngine(instance.agents, config).run(factory_);
+    Evaluation evaluation;
+    evaluation.met = run.gathered;
+    evaluation.meet_time = run.gather_time;
+    evaluation.min_distance = run.min_diameter_seen;
+    evaluation.clearance = run.min_diameter_seen - *config.success_diameter;
+    evaluation.events = run.events;
+    evaluation.stop_reason = gather::to_string(run.reason);
+    evaluation.instance = instance.to_string() + " policy=" + gather::to_string(policy);
+    // Non-gathering runs score a fixed -1, mirroring max-meet-time.
+    evaluation.score = run.gathered ? run.gather_time : -1.0;
+    return evaluation;
+  }
+
+  [[nodiscard]] double bound(const ParamBox& box) const override {
+    if (provably_ungatherable(box)) return -kInf;
+    if (config_.horizon) {
+      const double h = config_.horizon->to_double();
+      return h + bound_slop(h);
+    }
+    return kInf;
+  }
+
+  [[nodiscard]] Json descriptor() const override {
+    Json space = Json::object();
+    space.set("family", Json(SearchSpace::to_string(space_.family)));
+    Json dims = Json::array();
+    for (const std::string& dim : space_.dim_names) dims.push_back(Json(dim));
+    space.set("dims", std::move(dims));
+    Json fixed = Json::object();
+    for (const auto& [param, value] : space_.fixed) fixed.set(param, Json(value.to_string()));
+    space.set("fixed", std::move(fixed));
+    Json engine = Json::object();
+    engine.set("max_events", Json(config_.max_events));
+    engine.set("contact_slack", Json(config_.contact_slack));
+    engine.set("horizon", config_.horizon ? Json(config_.horizon->to_string()) : Json());
+    Json json = Json::object();
+    json.set("objective", Json(name()));
+    json.set("space", std::move(space));
+    json.set("engine", std::move(engine));
+    return json;
+  }
+
+ private:
+  /// The shifted-frames reachability prune. Two agents running one common
+  /// program T at unit speed satisfy |T(s - w_i) - T(s - w_j)| <= |w_i - w_j|
+  /// (T is 1-Lipschitz), so while nobody has frozen the pair (i, j) of the
+  /// staggered chain keeps distance >= |i - j| * (|spread| - |delay|). If
+  /// that floor exceeds the sight radius for the adjacent pair, no freeze
+  /// ever happens anywhere in the box — and the same floor applied to the
+  /// extreme pair keeps the diameter above *both* policies' success
+  /// diameters (r, and (n-1) * r + 1e-6), so no point can score.
+  [[nodiscard]] bool provably_ungatherable(const ParamBox& box) const {
+    const DInterval n = view(space_.param_interval("n", box));
+    // A box containing n = 1 points contains trivially-gathered points
+    // (score 0); the chain argument needs at least one pair.
+    if (gather_agent_count(Rational::from_double(n.lo)) < 2) return false;
+    const DInterval spread = abs_interval(view(space_.param_interval("spread", box)));
+    const DInterval delay = abs_interval(view(space_.param_interval("delay", box)));
+    const DInterval r = view(space_.param_interval("r", box));
+    const double gap_floor = spread.lo - delay.hi;
+    // Margins: contact_slack + the engine's 1e-9 freeze slop + the 1e-6
+    // FirstSight success-diameter slack, all widened by bound_slop.
+    const double margin = config_.contact_slack + 1e-6 +
+                          bound_slop(std::max({spread.hi, delay.hi, std::fabs(r.hi)}));
+    return gap_floor > r.hi + margin;
+  }
+
+  SearchSpace space_;
+  sim::AlgorithmFactory factory_;
+  sim::EngineConfig config_;
 };
 
 }  // namespace
 
 const std::vector<std::string>& objective_names() {
   static const std::vector<std::string> names = {"max-meet-time", "near-miss",
-                                                 "boundary-distance"};
+                                                 "boundary-distance", "max-gather-time"};
   return names;
 }
 
@@ -431,6 +635,26 @@ std::unique_ptr<Objective> make_objective(const std::string& name, SearchSpace s
                                           sim::EngineConfig config) {
   space.validate();
   AURV_CHECK_MSG(static_cast<bool>(algorithm), "make_objective: algorithm resolver required");
+  if (name == "max-gather-time") {
+    if (space.family != SearchSpace::Family::GatherTuple)
+      throw std::invalid_argument(
+          "objective max-gather-time: requires the gather-tuple family (two-agent "
+          "families have no gathering semantics)");
+    if (config.r_a || config.r_b)
+      throw std::invalid_argument(
+          "objective max-gather-time: engine r_a/r_b overrides do not apply — the "
+          "gathering model has one common visibility radius (the space's r)");
+    // Gather searches run one *common* program on every agent; the resolver
+    // is probed once with a fixed instance (callers pass an instance-blind
+    // resolver — exp::resolve_common_algorithm enforces that upstream).
+    static const agents::Instance probe =
+        agents::Instance::synchronous(1.0, {2.0, 0.0}, 0.0, 1, +1);
+    return std::make_unique<MaxGatherTimeObjective>(std::move(space), algorithm(probe),
+                                                    std::move(config));
+  }
+  if (space.family == SearchSpace::Family::GatherTuple)
+    throw std::invalid_argument("objective " + name +
+                                ": the gather-tuple family pairs only with max-gather-time");
   if (name == "max-meet-time")
     return std::make_unique<MaxMeetTimeObjective>(std::move(space), std::move(algorithm),
                                                   std::move(config));

@@ -28,6 +28,17 @@
 //                      boxes provably far from the boundary without a
 //                      single simulation.
 //
+//   max-gather-time    Section 5's open problem, cost side: the n-agent
+//                      staggered-chain configuration (gather-tuple family)
+//                      on which the common program takes longest to gather.
+//                      The prune is the shifted-frames reachability bound:
+//                      two agents running one program T at unit speed keep
+//                      |gap| >= dist - |wake difference| as long as neither
+//                      has frozen, so a box whose chain provably cannot
+//                      shrink below the success diameter (under either
+//                      reachable stop policy) scores -infinity without a
+//                      single simulation.
+//
 // Every objective evaluates a parameter point by mapping it to an instance
 // (SearchSpace below) and running the simulation engine as the oracle; the
 // box-level bound must only *over*-estimate the best achievable score, and
@@ -39,7 +50,9 @@
 #include <string>
 #include <vector>
 
+#include "agents/gather_sampler.hpp"
 #include "agents/instance.hpp"
+#include "gather/engine.hpp"
 #include "search/box.hpp"
 #include "sim/engine.hpp"
 #include "support/json.hpp"
@@ -47,12 +60,16 @@
 namespace aurv::search {
 
 /// Maps a search-space point (one rational per searched dimension) to the
-/// instance it denotes. Three parameterizations ("families"):
+/// instance it denotes. Four parameterizations ("families"):
 ///
 ///   tuple        dimensions are instance-tuple fields directly; any of
-///                {r, x, y, phi, tau, v, t} may be searched or fixed
-///                (defaults r=1, x=2, y=0, phi=0, tau=1, v=1, t=0), and
-///                chi is fixed per spec.
+///                {r, x, y, phi, tau, v, t, r_a, r_b} may be searched or
+///                fixed (defaults r=1, x=2, y=0, phi=0, tau=1, v=1, t=0;
+///                r_a/r_b default to "inherit" — the engine config's
+///                override if set, else the instance r), and chi is fixed
+///                per spec. Searching r_a/r_b opens the Section 5
+///                distinct-radii axis; the feasibility prune then uses
+///                min(r_a, r_b).
 ///   boundary-s1  the S1 exception manifold: dimensions {theta, r, t};
 ///                B starts at (t + r) * unit(theta), phi = 0, chi = +1,
 ///                synchronous — every point satisfies t = dist - r.
@@ -62,9 +79,23 @@ namespace aurv::search {
 ///                phi = 2 * half_phi, chi = -1, synchronous — every point
 ///                satisfies t = dist(projA, projB) - r, exactly the
 ///                construction of core::construct_s2_counterexample.
+///   gather-tuple n-agent gathering chains (Section 5 open problem):
+///                dimensions {n, r, spread, delay, policy} with defaults
+///                n=3, r=1, spread=2, delay=2, policy=1. A point denotes
+///                the staggered chain with agent k at (k * spread, 0)
+///                waking at k * delay (exact rational wakes) under common
+///                visibility radius r; n is the integer part of the n
+///                coordinate clamped to [1, 64], and policy < 1/2 means
+///                FirstSight, >= 1/2 AllVisible. Points map to
+///                agents::GatherInstance via gather_instance_at — the
+///                two-agent instance_at throws for this family.
 class SearchSpace {
  public:
-  enum class Family : std::uint8_t { Tuple, BoundaryS1, BoundaryS2 };
+  enum class Family : std::uint8_t { Tuple, BoundaryS1, BoundaryS2, GatherTuple };
+
+  /// Agent-count cap of the gather-tuple family (keeps a searched n
+  /// dimension from denoting quadratic-cost monsters).
+  static constexpr long long kMaxGatherAgents = 64;
 
   Family family = Family::Tuple;
   int chi = +1;  ///< tuple family only; boundary families pin it
@@ -94,11 +125,26 @@ class SearchSpace {
   /// parameters) — the raw material of objective bounds.
   [[nodiscard]] Interval param_interval(const std::string& name, const ParamBox& box) const;
 
-  /// The instance denoted by `point`.
+  /// True when `name` is given a value by this space (searched dimension
+  /// or fixed override) rather than falling back to the family default —
+  /// how the tuple family distinguishes "r_a searched/pinned here" from
+  /// "r_a inherited from the engine config".
+  [[nodiscard]] bool specifies(const std::string& name) const;
+
+  /// The two-agent instance denoted by `point`; throws std::logic_error
+  /// for the gather-tuple family (use gather_instance_at).
   [[nodiscard]] agents::Instance instance_at(const std::vector<numeric::Rational>& point) const;
 
+  /// The n-agent chain denoted by `point` (gather-tuple family only;
+  /// throws std::logic_error otherwise) and its stop policy.
+  [[nodiscard]] agents::GatherInstance gather_instance_at(
+      const std::vector<numeric::Rational>& point) const;
+  [[nodiscard]] gather::StopPolicy gather_policy_at(
+      const std::vector<numeric::Rational>& point) const;
+
   /// True when tau and v are pinned to 1 over the whole space (the
-  /// synchronous families the boundary analysis applies to).
+  /// synchronous families the boundary analysis applies to; the
+  /// gather-tuple family is synchronous by model definition).
   [[nodiscard]] bool synchronous() const;
 };
 
@@ -151,7 +197,13 @@ using AlgorithmResolverFn = std::function<sim::AlgorithmFactory(const agents::In
 
 /// Builds the named objective over `space`, driving `algorithm` through the
 /// engine `config` as its oracle. Throws std::invalid_argument listing the
-/// known names on a miss.
+/// known names on a miss, and for family/objective mismatches: the
+/// gather-tuple family pairs only with max-gather-time (and vice versa).
+/// Gather searches run one *common* program on every agent — the resolver
+/// is probed once with a fixed instance, so callers must pass an
+/// instance-blind resolver (exp::resolve_common_algorithm enforces this at
+/// the spec layer) — and reject engine r_a/r_b overrides (the model has one
+/// common radius).
 [[nodiscard]] std::unique_ptr<Objective> make_objective(const std::string& name,
                                                         SearchSpace space,
                                                         AlgorithmResolverFn algorithm,

@@ -20,10 +20,50 @@ using program::replay;
 using program::wait;
 
 TEST(GatherEngine, ValidatesInput) {
-  EXPECT_THROW(GatherEngine({{Vec2{0, 0}, 0}}, {}), std::logic_error);
+  EXPECT_THROW(GatherEngine({}, {}), std::logic_error);
   GatherConfig bad;
   bad.r = 0.0;
   EXPECT_THROW(GatherEngine({{Vec2{0, 0}, 0}, {Vec2{3, 0}, 0}}, bad), std::logic_error);
+  GatherConfig ok;
+  EXPECT_THROW(GatherEngine({{Vec2{0, 0}, -1}, {Vec2{3, 0}, 0}}, ok), std::logic_error);
+}
+
+TEST(GatherEngine, SingleAgentIsTriviallyGathered) {
+  // n = 1: diameter 0 from the start, under either policy, at time 0 — even
+  // when the lone agent's program would walk forever.
+  for (const StopPolicy policy : {StopPolicy::FirstSight, StopPolicy::AllVisible}) {
+    GatherConfig config;
+    config.r = 1.0;
+    config.policy = policy;
+    const GatherResult result =
+        GatherEngine({{Vec2{3, -2}, 5}}, config).run([] { return algo::latecomers(); });
+    ASSERT_TRUE(result.gathered) << to_string(policy);
+    EXPECT_EQ(result.reason, GatherStop::Gathered);
+    EXPECT_DOUBLE_EQ(result.gather_time, 0.0);
+    EXPECT_DOUBLE_EQ(result.min_diameter_seen, 0.0);
+    ASSERT_EQ(result.positions.size(), 1u);
+    EXPECT_EQ(result.positions.front(), (Vec2{3, -2}));
+    ASSERT_EQ(result.frozen.size(), 1u);
+    EXPECT_TRUE(result.frozen.front());
+  }
+}
+
+TEST(GatherEngine, AllAgentsColocatedGatherImmediately) {
+  // Everyone starts at the same point with scattered wakes: the diameter is
+  // exactly 0 at t = 0, so both policies succeed at time 0 regardless of
+  // what the common program would later do.
+  for (const StopPolicy policy : {StopPolicy::FirstSight, StopPolicy::AllVisible}) {
+    GatherConfig config;
+    config.r = 0.25;
+    config.policy = policy;
+    const GatherResult result =
+        GatherEngine({{Vec2{1, 1}, 0}, {Vec2{1, 1}, 2}, {Vec2{1, 1}, 7}, {Vec2{1, 1}, 3}},
+                     config)
+            .run([] { return algo::latecomers(); });
+    ASSERT_TRUE(result.gathered) << to_string(policy);
+    EXPECT_DOUBLE_EQ(result.gather_time, 0.0);
+    EXPECT_LE(result.final_diameter, config.r);
+  }
 }
 
 TEST(GatherEngine, TwoAgentsMatchRendezvousEngine) {

@@ -152,15 +152,21 @@ TEST(SearchSpace, ValidateRejectsMistakes) {
 
 TEST(Objective, RegistryResolvesEveryNameAndRejectsUnknowns) {
   const std::vector<std::string> expected = {"max-meet-time", "near-miss",
-                                             "boundary-distance"};
+                                             "boundary-distance", "max-gather-time"};
   EXPECT_EQ(objective_names(), expected);
 
   SearchSpace space;
   space.chi = -1;
   space.dim_names = {"t"};
+  SearchSpace gather_space;
+  gather_space.family = SearchSpace::Family::GatherTuple;
+  gather_space.dim_names = {"spread"};
   const AlgorithmResolverFn resolver = exp::resolve_algorithm("aurv");
   for (const std::string& name : objective_names()) {
-    const auto objective = make_objective(name, space, resolver, {});
+    // max-gather-time pairs only with the gather-tuple family (and vice
+    // versa), so pick the matching space per name.
+    const auto objective = make_objective(
+        name, name == "max-gather-time" ? gather_space : space, resolver, {});
     ASSERT_TRUE(objective) << name;
     EXPECT_EQ(objective->name(), name);
   }
@@ -292,8 +298,8 @@ TEST(SearchSpec, FingerprintDetectsEdits) {
 }
 
 TEST(SearchSpec, CommittedScenarioFilesLoad) {
-  for (const char* leaf :
-       {"search_smoke.json", "search_type1_worst_meet.json", "search_s2_near_miss.json"}) {
+  for (const char* leaf : {"search_smoke.json", "search_type1_worst_meet.json",
+                           "search_s2_near_miss.json", "search_gather_worst.json"}) {
     const SearchSpec spec = SearchSpec::load(scenario_path(leaf));
     EXPECT_FALSE(spec.name.empty()) << leaf;
     EXPECT_GE(spec.root_box().dim_count(), 1u) << leaf;
