@@ -5,7 +5,12 @@
 // the same harness. Writes BENCH_campaign.json (same flat schema as
 // BENCH_micro.json, ns/op = ns per simulation run) when given --json.
 //
-//   ./campaign_throughput [--json[=path]] [--count N]
+//   ./campaign_throughput [--json[=path]] [--count N] [--threads N]
+//
+// --threads pins the multi-worker rows to N workers (default: hardware
+// concurrency; rows appear whenever the pinned count is > 1), so CI can
+// emit comparable `threads:N` baselines regardless of the runner's core
+// count.
 //
 // The workload is a fixed type-2 census (cheap per-run, so the harness
 // overhead — job generation, per-shard aggregation, in-order flushing — is
@@ -99,6 +104,7 @@ int main(int argc, char** argv) {
   std::uint64_t count = 20'000;
   std::string json_path;
   bool write = false;
+  std::size_t threads = 0;
   for (int k = 1; k < argc; ++k) {
     if (std::strncmp(argv[k], "--json", 6) == 0 &&
         (argv[k][6] == '\0' || argv[k][6] == '=')) {
@@ -106,14 +112,17 @@ int main(int argc, char** argv) {
       json_path = argv[k][6] == '=' ? argv[k] + 7 : "BENCH_campaign.json";
     } else if (std::strcmp(argv[k], "--count") == 0 && k + 1 < argc) {
       count = support::parse_uint(argv[++k], "--count");
+    } else if (std::strcmp(argv[k], "--threads") == 0 && k + 1 < argc) {
+      threads = support::parse_uint(argv[++k], "--threads");
     } else {
-      std::fprintf(stderr, "usage: %s [--json[=path]] [--count N]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--json[=path]] [--count N] [--threads N]\n", argv[0]);
       return 2;
     }
   }
 
   std::size_t hardware = std::thread::hardware_concurrency();
   if (hardware == 0) hardware = 1;
+  const std::size_t parallel = threads > 0 ? threads : hardware;
   const exp::ScenarioSpec spec = bench_spec(count);
   const std::string jsonl_tmp =
       (std::filesystem::temp_directory_path() / "campaign_throughput.jsonl").string();
@@ -127,12 +136,12 @@ int main(int argc, char** argv) {
 
   (void)ns_per_run(spec, 1, "");  // warm-up (page cache, allocator)
   record("BM_CampaignRun/threads:1", ns_per_run(spec, 1, ""));
-  if (hardware > 1) {
-    record("BM_CampaignRun/threads:" + std::to_string(hardware),
-           ns_per_run(spec, hardware, ""));
+  if (parallel > 1) {
+    record("BM_CampaignRun/threads:" + std::to_string(parallel),
+           ns_per_run(spec, parallel, ""));
   }
-  record("BM_CampaignRunJsonl/threads:" + std::to_string(hardware),
-         ns_per_run(spec, hardware, jsonl_tmp));
+  record("BM_CampaignRunJsonl/threads:" + std::to_string(parallel),
+         ns_per_run(spec, parallel, jsonl_tmp));
   std::filesystem::remove(jsonl_tmp);
 
   // Gathering census (gatherx) through the same sharded harness: ns per
@@ -140,9 +149,9 @@ int main(int argc, char** argv) {
   const gatherx::GatherScenarioSpec gather_spec =
       gather_bench_spec(std::max<std::uint64_t>(1, count / 4));
   record("BM_GatherCensus/threads:1", ns_per_gather_run(gather_spec, 1));
-  if (hardware > 1) {
-    record("BM_GatherCensus/threads:" + std::to_string(hardware),
-           ns_per_gather_run(gather_spec, hardware));
+  if (parallel > 1) {
+    record("BM_GatherCensus/threads:" + std::to_string(parallel),
+           ns_per_gather_run(gather_spec, parallel));
   }
 
   if (write) {

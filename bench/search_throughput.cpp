@@ -5,7 +5,14 @@
 // Writes BENCH_search.json (same flat schema as BENCH_micro.json; ns/op =
 // ns per evaluated box) when given --json.
 //
-//   ./search_throughput [--json[=path]] [--boxes N]
+//   ./search_throughput [--json[=path]] [--boxes N] [--shards N]
+//
+// --shards pins the multi-worker rows to N workers (default: hardware
+// concurrency; rows appear whenever the pinned count is > 1), so CI can
+// emit comparable `shards:N` baselines regardless of the runner's core
+// count. A spilled-frontier row (hot set capped, cold tail in disk
+// segments) runs beside the in-memory rows, and the frontier high-water
+// marks are reported alongside boxes/sec.
 //
 // The workload is the committed type-1 worst-meet-time shape (tuple space
 // over (x, t) straddling the t = |x| - r feasibility boundary), scaled up:
@@ -21,6 +28,8 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <random>
 #include <string>
 #include <thread>
 
@@ -77,11 +86,17 @@ exp::SearchSpec gather_bench_spec(std::uint64_t boxes) {
 struct BenchRun {
   double ns_per_box;
   double prune_rate;
+  std::uint64_t max_frontier;      ///< open boxes, memory + disk (deterministic)
+  std::uint64_t hot_high_water;    ///< boxes resident in memory at once
+  std::uint64_t spilled;           ///< boxes written to disk segments
 };
 
-BenchRun run_once(const exp::SearchSpec& spec, std::size_t max_shards) {
+BenchRun run_once(const exp::SearchSpec& spec, std::size_t max_shards,
+                  const std::string& spill_dir = "", std::size_t frontier_mem = 0) {
   exp::SearchOptions options;
   options.max_shards = max_shards;
+  options.spill_dir = spill_dir;
+  options.frontier_mem = frontier_mem;
   const auto start = std::chrono::steady_clock::now();
   const exp::SearchRunResult result = exp::run_search(spec, options);
   const auto elapsed = std::chrono::steady_clock::now() - start;
@@ -95,7 +110,9 @@ BenchRun run_once(const exp::SearchSpec& spec, std::size_t max_shards) {
   return {static_cast<double>(
               std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()) /
               evaluated,
-          considered > 0 ? static_cast<double>(result.bnb.stats.pruned) / considered : 0.0};
+          considered > 0 ? static_cast<double>(result.bnb.stats.pruned) / considered : 0.0,
+          result.bnb.stats.max_frontier, result.bnb.frontier_hot_high_water,
+          result.bnb.frontier_spilled};
 }
 
 }  // namespace
@@ -104,6 +121,7 @@ int main(int argc, char** argv) {
   std::uint64_t boxes = 20'000;
   std::string json_path;
   bool write = false;
+  std::size_t shards = 0;
   for (int k = 1; k < argc; ++k) {
     if (std::strncmp(argv[k], "--json", 6) == 0 &&
         (argv[k][6] == '\0' || argv[k][6] == '=')) {
@@ -111,14 +129,17 @@ int main(int argc, char** argv) {
       json_path = argv[k][6] == '=' ? argv[k] + 7 : "BENCH_search.json";
     } else if (std::strcmp(argv[k], "--boxes") == 0 && k + 1 < argc) {
       boxes = support::parse_uint(argv[++k], "--boxes");
+    } else if (std::strcmp(argv[k], "--shards") == 0 && k + 1 < argc) {
+      shards = support::parse_uint(argv[++k], "--shards");
     } else {
-      std::fprintf(stderr, "usage: %s [--json[=path]] [--boxes N]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--json[=path]] [--boxes N] [--shards N]\n", argv[0]);
       return 2;
     }
   }
 
   std::size_t hardware = std::thread::hardware_concurrency();
   if (hardware == 0) hardware = 1;
+  const std::size_t parallel = shards > 0 ? shards : hardware;
   const exp::SearchSpec spec = bench_spec(boxes);
 
   std::map<std::string, double> results;
@@ -130,15 +151,47 @@ int main(int argc, char** argv) {
   (void)run_once(spec, 1);  // warm-up (page cache, allocator)
   const BenchRun serial = run_once(spec, 1);
   record("BM_SearchBnb/shards:1", serial.ns_per_box);
-  if (hardware > 1) {
-    record("BM_SearchBnb/shards:" + std::to_string(hardware),
-           run_once(spec, hardware).ns_per_box);
+  if (parallel > 1) {
+    record("BM_SearchBnb/shards:" + std::to_string(parallel),
+           run_once(spec, parallel).ns_per_box);
   }
   // The prune rate is a search-quality metric, not a time: committed so a
-  // bound regression (weaker pruning) shows up in review as a diff.
+  // bound regression (weaker pruning) shows up in review as a diff. Same
+  // for the frontier high-water mark — the memory the search would need
+  // without spilling, in boxes.
   results["BM_SearchBnb/prune_rate_pct"] = serial.prune_rate * 100.0;
   std::printf("%-44s %10.2f %% of considered boxes pruned\n", "BM_SearchBnb/prune_rate_pct",
               serial.prune_rate * 100.0);
+  results["BM_SearchBnb/frontier_high_water_boxes"] =
+      static_cast<double>(serial.max_frontier);
+  std::printf("%-44s %10.0f open boxes at peak\n", "BM_SearchBnb/frontier_high_water_boxes",
+              static_cast<double>(serial.max_frontier));
+
+  // The spilled-frontier mode on the same workload: hot set capped at 64
+  // boxes, cold tail in JSONL disk segments. The ns/box delta against
+  // shards:1 is the spill overhead; hot high-water is the resident memory
+  // the cap actually achieved.
+  // Random-suffixed: SpillDeque directories are single-owner, and two
+  // bench processes on one machine must not sweep each other's segments.
+  const std::string spill_dir =
+      (std::filesystem::temp_directory_path() /
+       ("search_throughput_spill." + std::to_string(std::random_device{}())))
+          .string();
+  struct TempDirJanitor {  // cleans up even when the spilled run throws
+    std::string path;
+    ~TempDirJanitor() {
+      std::error_code ec;
+      std::filesystem::remove_all(path, ec);
+    }
+  } spill_janitor{spill_dir};
+  const BenchRun spilled = run_once(spec, 1, spill_dir, 64);
+  record("BM_SearchBnbSpill/shards:1", spilled.ns_per_box);
+  results["BM_SearchBnbSpill/hot_high_water_boxes"] =
+      static_cast<double>(spilled.hot_high_water);
+  std::printf("%-44s %10.0f boxes resident at peak (%llu spilled)\n",
+              "BM_SearchBnbSpill/hot_high_water_boxes",
+              static_cast<double>(spilled.hot_high_water),
+              static_cast<unsigned long long>(spilled.spilled));
 
   // The gathering oracle (n-agent engine midpoints, reachability-bound
   // pruning) on the same branch-and-bound harness.
@@ -146,13 +199,18 @@ int main(int argc, char** argv) {
       gather_bench_spec(std::max<std::uint64_t>(1, boxes / 4));
   const BenchRun gather_serial = run_once(gather_spec, 1);
   record("BM_SearchBnbGather/shards:1", gather_serial.ns_per_box);
-  if (hardware > 1) {
-    record("BM_SearchBnbGather/shards:" + std::to_string(hardware),
-           run_once(gather_spec, hardware).ns_per_box);
+  if (parallel > 1) {
+    record("BM_SearchBnbGather/shards:" + std::to_string(parallel),
+           run_once(gather_spec, parallel).ns_per_box);
   }
   results["BM_SearchBnbGather/prune_rate_pct"] = gather_serial.prune_rate * 100.0;
   std::printf("%-44s %10.2f %% of considered boxes pruned\n",
               "BM_SearchBnbGather/prune_rate_pct", gather_serial.prune_rate * 100.0);
+  results["BM_SearchBnbGather/frontier_high_water_boxes"] =
+      static_cast<double>(gather_serial.max_frontier);
+  std::printf("%-44s %10.0f open boxes at peak\n",
+              "BM_SearchBnbGather/frontier_high_water_boxes",
+              static_cast<double>(gather_serial.max_frontier));
 
   if (write) {
     aurv::bench::write_json(json_path, results);

@@ -20,11 +20,26 @@
 //                            with --max-waves)
 //       --out PATH           certificate JSON artifact (default: stdout)
 //       --incumbent-log PATH incumbent-improvement JSONL, deterministic order
-//       --checkpoint PATH    checkpoint file (enables --resume)
-//       --checkpoint-every K checkpoint every K waves (default 16)
+//       --checkpoint PATH    base checkpoint + per-wave delta journal
+//                            (enables --resume)
+//       --compact-every K    compact the wave journal into a fresh base
+//                            every K waves (default 16; --checkpoint-every
+//                            is an alias)
 //       --resume             continue from the checkpoint if it exists
 //       --max-waves K        stop after K waves (incremental execution)
+//       --spill-dir PATH     spill the cold frontier tail to JSONL segment
+//                            files in PATH (in-memory frontier otherwise);
+//                            PATH belongs to this search alone, like the
+//                            checkpoint file — use one directory per hunt
+//       --frontier-mem N     max open boxes held in memory (needs
+//                            --spill-dir; 0 = unbounded, default)
+//       --spill-segments N   open segment files before a k-way merge
+//                            compacts them (default 8)
 //       --quiet              no progress on stderr
+//
+//       The spill/compaction flags are invocation-side: certificates,
+//       incumbent logs and prune stats are byte-identical in-memory vs.
+//       spilled, at any --max-shards, and across checkpoint/resume.
 //   aurv_sweep describe <spec.json>       parsed spec + first instances (either kind)
 //   aurv_sweep list                       registered algorithms, samplers, objectives
 //
@@ -56,8 +71,9 @@ int usage() {
                "             [--checkpoint PATH] [--checkpoint-every K] [--resume]\n"
                "             [--shard-size K] [--max-shards K] [--quiet]\n"
                "  aurv_sweep search <search.json> [--max-shards N] [--out PATH]\n"
-               "             [--incumbent-log PATH] [--checkpoint PATH]\n"
-               "             [--checkpoint-every K] [--resume] [--max-waves K] [--quiet]\n"
+               "             [--incumbent-log PATH] [--checkpoint PATH] [--compact-every K]\n"
+               "             [--resume] [--max-waves K] [--spill-dir PATH]\n"
+               "             [--frontier-mem N] [--spill-segments N] [--quiet]\n"
                "  aurv_sweep describe <spec.json>\n"
                "  aurv_sweep list\n");
   return 2;
@@ -146,11 +162,17 @@ int cmd_search(int argc, char** argv) {
     else if (flag == "--out") out_path = value();
     else if (flag == "--incumbent-log") options.incumbent_log_path = value();
     else if (flag == "--checkpoint") options.checkpoint_path = value();
-    else if (flag == "--checkpoint-every")
-      options.checkpoint_every = support::parse_uint(value(), "--checkpoint-every");
+    // --checkpoint-every is the pre-delta-journal spelling, kept as an alias.
+    else if (flag == "--compact-every" || flag == "--checkpoint-every")
+      options.checkpoint_every = support::parse_uint(value(), flag.c_str());
     else if (flag == "--resume") options.resume = true;
     else if (flag == "--max-waves")
       options.max_waves = support::parse_uint(value(), "--max-waves");
+    else if (flag == "--spill-dir") options.spill_dir = value();
+    else if (flag == "--frontier-mem")
+      options.frontier_mem = support::parse_uint(value(), "--frontier-mem");
+    else if (flag == "--spill-segments")
+      options.spill_max_segments = support::parse_uint(value(), "--spill-segments");
     else if (flag == "--quiet") quiet = true;
     else {
       std::fprintf(stderr, "unknown option: %s\n", flag.c_str());

@@ -27,6 +27,9 @@ SearchRunResult run_search(const SearchSpec& spec, const SearchOptions& options)
   bnb_options.checkpoint_path = options.checkpoint_path;
   bnb_options.checkpoint_every = options.checkpoint_every;
   bnb_options.resume = options.resume;
+  bnb_options.spill_dir = options.spill_dir;
+  bnb_options.frontier_mem = options.frontier_mem;
+  bnb_options.spill_max_segments = options.spill_max_segments;
   bnb_options.max_waves = options.max_waves;
   bnb_options.fingerprint = support::fingerprint_hex(spec.fingerprint());
   bnb_options.dim_names = spec.space.dim_names;

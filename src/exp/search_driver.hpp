@@ -26,10 +26,20 @@ struct SearchOptions {
   /// JSONL stream of incumbent improvements, in deterministic order.
   std::string incumbent_log_path;
 
-  /// Checkpoint file enabling resume. Empty = off.
+  /// Base-checkpoint file enabling resume (a per-wave delta journal rides
+  /// beside it). Empty = off.
   std::string checkpoint_path;
+  /// Waves between journal compactions into a fresh base checkpoint.
   std::size_t checkpoint_every = 16;
   bool resume = false;
+
+  /// Spill-to-disk frontier (invocation-side: never changes the
+  /// certificate). Empty spill_dir = fully in-memory frontier.
+  std::string spill_dir;
+  /// Max open boxes held in memory (0 = unbounded; nonzero needs spill_dir).
+  std::size_t frontier_mem = 0;
+  /// Open segment-file cap before spilled runs are k-way-merged.
+  std::size_t spill_max_segments = 8;
 
   /// Stop after this many waves in *this* invocation (0 = run to the end).
   std::size_t max_waves = 0;

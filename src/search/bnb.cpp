@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <filesystem>
+#include <fstream>
 #include <limits>
-#include <set>
+#include <optional>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -12,6 +14,7 @@
 #include "support/check.hpp"
 #include "support/jsonl.hpp"
 #include "support/parallel.hpp"
+#include "support/spill.hpp"
 
 namespace aurv::search {
 
@@ -21,25 +24,6 @@ using support::Json;
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
-
-/// Bounds can be +/-infinity, which JSON numbers cannot hold; serialize the
-/// infinities as the strings "inf"/"-inf" and round-trip doubles exactly.
-Json bound_to_json(double bound) {
-  if (std::isinf(bound)) return Json(bound > 0 ? "inf" : "-inf");
-  return Json(bound);
-}
-
-double bound_from_json(const Json& json) {
-  if (json.is_string()) {
-    if (json.as_string() == "inf") return kInf;
-    if (json.as_string() == "-inf") return -kInf;
-    // Anything else is corruption; silently mapping it to -inf would prune
-    // the box and still emit a "complete" certificate.
-    throw support::JsonError("bound: expected a number, \"inf\" or \"-inf\", got \"" +
-                             json.as_string() + "\"");
-  }
-  return json.as_number();
-}
 
 std::string dim_label(const std::vector<std::string>& names, std::size_t index) {
   if (index < names.size()) return names[index];
@@ -120,35 +104,52 @@ BnbStats stats_from_json(const Json& json) {
   return stats;
 }
 
-/// One frontier entry: a box and its (cached) objective bound.
-struct OpenBox {
-  ParamBox box;
-  double bound;
-};
-
-/// Best-first, deterministic total order: bound descending, then the
-/// refinement-tree path ascending (paths are unique, so this never ties).
-struct FrontierOrder {
-  bool operator()(const OpenBox& a, const OpenBox& b) const {
-    if (a.bound != b.bound) return a.bound > b.bound;
-    return a.box.id() < b.box.id();
-  }
-};
-
-using Frontier = std::set<OpenBox, FrontierOrder>;
+/// The open frontier: in memory by default, cold tail in JSONL disk
+/// segments when BnbOptions configures spilling. Pop order is identical
+/// either way, so the spill mode can never change a certificate byte.
+using Frontier = support::SpillDeque<OpenBox, FrontierOrder, OpenBoxCodec>;
 
 struct SearchState {
   Frontier frontier;
   Incumbent incumbent;
   BnbStats stats;
   std::uint64_t log_bytes = 0;
+  /// Journal generation: each compaction starts a fresh journal file so a
+  /// kill between the base write and the old journal's removal leaves a
+  /// stale file the resume path ignores by name.
+  std::uint64_t generation = 0;
 };
+
+std::string journal_path(const std::string& checkpoint_path, std::uint64_t generation) {
+  return checkpoint_path + ".wave." + std::to_string(generation) + ".jsonl";
+}
+
+/// Removes every sibling journal file of `checkpoint_path` except
+/// `keep_filename` ("" keeps nothing — a fresh start owns no journal yet,
+/// and a leftover from whatever lineage previously used this path must
+/// never be mistaken for the new lineage's records). The cleanup half of
+/// compaction, and the sweep that erases leftovers of a kill.
+void remove_stale_journals(const std::string& checkpoint_path, const std::string& keep_filename) {
+  const std::filesystem::path base(checkpoint_path);
+  const std::string prefix = base.filename().string() + ".wave.";
+  const std::string& keep = keep_filename;
+  const std::filesystem::path dir =
+      base.has_parent_path() ? base.parent_path() : std::filesystem::path(".");
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(prefix, 0) == 0 && name != keep) {
+      std::error_code remove_ec;
+      std::filesystem::remove(entry.path(), remove_ec);  // best-effort
+    }
+  }
+}
 
 Json checkpoint_to_json(const SearchState& state, const ParamBox& root,
                         const Objective& objective, const BnbLimits& limits,
                         const BnbOptions& options) {
   Json json = Json::object();
-  json.set("schema", Json(std::uint64_t{1}));
+  json.set("schema", Json(std::uint64_t{2}));
   json.set("kind", Json("search-checkpoint"));
   json.set("fingerprint", Json(options.fingerprint));
   json.set("root", root.to_json());
@@ -159,25 +160,25 @@ Json checkpoint_to_json(const SearchState& state, const ParamBox& root,
   json.set("min_improvement", Json(limits.min_improvement));
   json.set("incumbent_log_path", Json(options.incumbent_log_path));
   json.set("log_bytes", Json(state.log_bytes));
+  json.set("generation", Json(state.generation));
   json.set("stats", stats_to_json(state.stats));
   json.set("incumbent", state.incumbent.found
                             ? incumbent_to_json(state.incumbent, options.dim_names)
                             : Json());
-  Json frontier_json = Json::array();
-  for (const OpenBox& open : state.frontier) {
-    Json entry = open.box.to_json();
-    entry.set("bound", bound_to_json(open.bound));
-    frontier_json.push_back(std::move(entry));
-  }
-  json.set("frontier", std::move(frontier_json));
+  json.set("frontier", state.frontier.state_to_json());
   return json;
 }
 
 SearchState checkpoint_from_json(const Json& json, const ParamBox& root,
                                  const Objective& objective, const BnbLimits& limits,
-                                 const BnbOptions& options) {
+                                 const BnbOptions& options,
+                                 const Frontier::Config& frontier_config) {
   if (json.string_or("kind", "") != "search-checkpoint")
     throw std::invalid_argument("checkpoint: not a search-checkpoint file");
+  if (json.uint_or("schema", 0) != 2)
+    throw std::invalid_argument(
+        "checkpoint: schema " + std::to_string(json.uint_or("schema", 0)) +
+        " (written by a different build of the search; delete the checkpoint to start over)");
   if (json.at("fingerprint").as_string() != options.fingerprint)
     throw std::invalid_argument(
         "checkpoint: search fingerprint mismatch (spec edited since the checkpoint was "
@@ -203,15 +204,78 @@ SearchState checkpoint_from_json(const Json& json, const ParamBox& root,
         "\"); resuming would truncate the wrong file");
   SearchState state;
   state.log_bytes = json.at("log_bytes").as_uint();
+  state.generation = json.at("generation").as_uint();
   state.stats = stats_from_json(json.at("stats"));
   if (!json.at("incumbent").is_null())
     state.incumbent =
         incumbent_from_json(json.at("incumbent"), options.dim_names, root.dim_count());
-  for (const Json& entry : json.at("frontier").as_array()) {
-    state.frontier.insert(
-        OpenBox{ParamBox::from_json(entry), bound_from_json(entry.at("bound"))});
-  }
+  state.frontier = Frontier::from_json(json.at("frontier"), frontier_config);
   return state;
+}
+
+/// Re-applies one journaled wave's deterministic merge: pop the same
+/// boxes (prune decisions recompute identically against the replayed
+/// incumbent), adopt the recorded incumbent, insert the surviving
+/// children, take the recorded stats — no midpoint is re-simulated.
+void replay_record(SearchState& state, const Json& record,
+                   const std::vector<std::string>& names, std::size_t dim_count) {
+  const std::uint64_t wave = record.at("wave").as_uint();
+  if (wave != state.stats.waves + 1)
+    throw std::invalid_argument(
+        "journal: wave " + std::to_string(wave) + " does not continue this base checkpoint "
+        "(expected wave " + std::to_string(state.stats.waves + 1) +
+        "; journal and checkpoint are out of sync — delete both to start over)");
+  const std::uint64_t popped = record.at("popped").as_uint();
+  if (popped > state.frontier.size())
+    throw std::invalid_argument(
+        "journal: a record pops more boxes than the frontier holds (journal and "
+        "checkpoint are out of sync — delete both to start over)");
+  for (std::uint64_t k = 0; k < popped; ++k) (void)state.frontier.pop_best();
+  if (!record.at("incumbent").is_null())
+    state.incumbent = incumbent_from_json(record.at("incumbent"), names, dim_count);
+  for (const Json& child : record.at("children").as_array())
+    state.frontier.insert(OpenBox::from_json(child));
+  state.stats = stats_from_json(record.at("stats"));
+  state.log_bytes = record.at("log_bytes").as_uint();
+}
+
+/// Replays the wave journal on top of a freshly loaded base checkpoint.
+/// Returns the byte length of the journal's durable prefix (a partial or
+/// torn trailing record, lost to the kill, is excluded; the sink
+/// truncates it on reopen).
+std::uint64_t replay_journal(SearchState& state, const std::string& path,
+                             const std::vector<std::string>& names, std::size_t dim_count) {
+  if (!std::filesystem::exists(path)) return 0;
+  std::string data;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    data = buffer.str();
+  }
+  std::size_t consumed = 0;
+  while (true) {
+    const std::size_t newline = data.find('\n', consumed);
+    if (newline == std::string::npos) break;  // partial trailing record
+    Json record;
+    try {
+      record = Json::parse(std::string_view(data).substr(consumed, newline - consumed));
+    } catch (const support::JsonError&) {
+      break;  // torn write at the kill point: the durable prefix ends here
+    }
+    // Past this point the record parsed, so a missing or mistyped field is
+    // not a torn write but real corruption — refuse with the same guidance
+    // as the other mismatch paths instead of leaking a bare key error.
+    try {
+      replay_record(state, record, names, dim_count);
+    } catch (const support::JsonError& error) {
+      throw std::invalid_argument(std::string("journal: malformed record (") + error.what() +
+                                  "); journal and checkpoint are out of sync — delete both "
+                                  "to start over");
+    }
+    consumed = newline + 1;
+  }
+  return consumed;
 }
 
 /// One line per incumbent improvement: progress counters, the box, the
@@ -251,12 +315,22 @@ BnbResult run_bnb(const ParamBox& root, const Objective& objective, const BnbLim
   AURV_CHECK_MSG(options.dim_names.empty() || options.dim_names.size() == root.dim_count(),
                  "dim_names must match the root box dimensions");
 
+  Frontier::Config frontier_config;
+  frontier_config.spill_dir = options.spill_dir;
+  frontier_config.mem_capacity = options.frontier_mem;
+  frontier_config.max_segments = options.spill_max_segments;
+
+  const bool checkpointing = !options.checkpoint_path.empty();
+
   SearchState state;
+  state.frontier = Frontier(frontier_config);
   bool resumed = false;
-  if (options.resume && !options.checkpoint_path.empty() &&
-      std::filesystem::exists(options.checkpoint_path)) {
+  std::uint64_t journal_bytes = 0;
+  if (options.resume && checkpointing && std::filesystem::exists(options.checkpoint_path)) {
     state = checkpoint_from_json(Json::load_file(options.checkpoint_path), root, objective,
-                                 limits, options);
+                                 limits, options, frontier_config);
+    journal_bytes = replay_journal(state, journal_path(options.checkpoint_path, state.generation),
+                                   options.dim_names, root.dim_count());
     resumed = true;
   } else {
     const double root_bound = objective.bound(root);
@@ -269,6 +343,17 @@ BnbResult run_bnb(const ParamBox& root, const Objective& objective, const BnbLim
     }
   }
 
+  // Without a checkpoint no artifact references the segment files, so they
+  // are garbage the moment this invocation ends — on every exit path,
+  // including an objective throwing mid-wave.
+  struct FrontierJanitor {
+    Frontier* frontier;
+    bool active;
+    ~FrontierJanitor() {
+      if (active) frontier->discard_files();
+    }
+  } janitor{&state.frontier, !checkpointing};
+
   support::JsonlSink log(options.incumbent_log_path, resumed ? state.log_bytes : 0);
 
   // A box survives only if its bound can still beat the incumbent.
@@ -277,15 +362,79 @@ BnbResult run_bnb(const ParamBox& root, const Objective& objective, const BnbLim
     return state.incumbent.found && bound <= state.incumbent.score + limits.min_improvement;
   };
 
-  const auto write_checkpoint = [&] {
-    if (options.checkpoint_path.empty()) return;
+  // Compaction: fold the journal into a fresh base checkpoint. The write
+  // order is what makes a kill at any point recoverable: the new base
+  // lands atomically first, and only then are the previous generation's
+  // journal and the frontier's retired segment files removed — a crash in
+  // between leaves stale files the resume path ignores by name.
+  std::optional<support::JsonlSink> journal;
+  // Records appended (or replayed) since the last base write: when false
+  // the base already holds this exact state, and compacting again would
+  // only rewrite identical bytes under a new generation.
+  bool journal_dirty = journal_bytes > 0;
+  const auto compact = [&] {
+    if (!checkpointing || !journal_dirty) return;
     log.flush();
     state.log_bytes = log.bytes();
+    ++state.generation;
     support::save_json_atomically(options.checkpoint_path,
                                   checkpoint_to_json(state, root, objective, limits, options));
+    // The folded journal is closed and removed; the next generation's
+    // file is only created when a wave actually appends to it (its
+    // absence reads as "no records" on resume), so a terminal base — or
+    // one a compaction-boundary stop leaves behind — never has an empty
+    // journal sitting beside it.
+    journal.reset();
+    remove_stale_journals(
+        options.checkpoint_path,
+        std::filesystem::path(journal_path(options.checkpoint_path, state.generation))
+            .filename()
+            .string());
+    state.frontier.prune_retired();
+    journal_dirty = false;
   };
 
+  // Opens the current generation's journal on first use. On a resumed
+  // generation the first open truncates the replayed durable prefix's
+  // torn tail (JsonlSink's resume contract); after a compaction the
+  // generation is fresh and starts at zero.
+  const auto journal_sink = [&]() -> support::JsonlSink& {
+    if (!journal.has_value()) {
+      journal.emplace(journal_path(options.checkpoint_path, state.generation), journal_bytes);
+      journal_bytes = 0;
+    }
+    return *journal;
+  };
+
+  if (checkpointing && !resumed) {
+    // Fresh start. First sweep EVERY journal leftover of whatever
+    // lineage owned this path before — including its generation 0:
+    // journal records carry no fingerprint, so a foreign wave.0 file
+    // coexisting with our new base could be replayed onto it by a resume
+    // after a kill. The sweep comes BEFORE the base write: a kill in
+    // between merely costs the old lineage its replay shortcut (its base
+    // re-simulates those waves to identical bytes), whereas the reverse
+    // order would leave the new base beside the foreign journal. Then
+    // put the generation-0 base on disk so a kill before the first
+    // compaction still has a base to replay onto.
+    remove_stale_journals(options.checkpoint_path, "");
+    support::save_json_atomically(options.checkpoint_path,
+                                  checkpoint_to_json(state, root, objective, limits, options));
+  }
+
+  // Fresh start: the spill directory is exclusively this lineage's (see
+  // BnbOptions), so any segment files in it are leftovers of a crashed or
+  // abandoned run — reclaim them before the first spill renumbers from 0.
+  // Only now, with the generation-0 base already on disk: sweeping before
+  // the overwrite would delete segments the *old* checkpoint still
+  // references, bricking its resume if we died in between.
+  if (!resumed && !options.spill_dir.empty()) state.frontier.sweep_orphans();
+
   std::uint64_t waves_this_invocation = 0;
+  // Pops since the last journal record — includes boxes drained by waves
+  // that pruned away entirely (those write no record of their own, so the
+  // next record carries their pops; replay stays aligned).
+  std::uint64_t pending_popped = 0;
 
   while (true) {
     if (state.stats.evaluated >= limits.max_boxes || state.frontier.empty()) break;
@@ -297,14 +446,19 @@ BnbResult run_bnb(const ParamBox& root, const Objective& objective, const BnbLim
     const std::uint64_t budget_left = limits.max_boxes - state.stats.evaluated;
     const std::uint64_t target = std::min<std::uint64_t>(limits.wave_size, budget_left);
     while (wave.size() < target && !state.frontier.empty()) {
-      OpenBox open = *state.frontier.begin();
-      state.frontier.erase(state.frontier.begin());
+      OpenBox open = state.frontier.pop_best();
+      ++pending_popped;
       if (prunable(open.bound)) {
         ++state.stats.pruned;
         continue;
       }
       wave.push_back(std::move(open));
     }
+    // Pops diverge the in-memory state from the base even when the wave
+    // comes up empty (a drain-only iteration writes no journal record);
+    // without this a search *finishing* on such a drain would skip its
+    // terminal compaction and leave a stale, never-terminal base behind.
+    if (pending_popped > 0) journal_dirty = true;
     if (wave.empty()) continue;  // frontier drained by pruning; loop re-checks
 
     // Parallel part: evaluate midpoints and pre-compute child boxes/bounds.
@@ -333,6 +487,9 @@ BnbResult run_bnb(const ParamBox& root, const Objective& objective, const BnbLim
       }
     };
 
+    Json::Array wave_children;  // journal payload: children as inserted
+    const std::uint64_t improvements_before = state.stats.improvements;
+
     const auto complete = [&](std::size_t shard) {
       ShardOutput& out = outputs[shard];
       ++state.stats.evaluated;
@@ -354,6 +511,7 @@ BnbResult run_bnb(const ParamBox& root, const Objective& objective, const BnbLim
           if (prunable(child.bound)) {
             ++state.stats.pruned;
           } else {
+            if (checkpointing) wave_children.push_back(child.to_json());
             state.frontier.insert(std::move(child));
           }
         }
@@ -368,15 +526,40 @@ BnbResult run_bnb(const ParamBox& root, const Objective& objective, const BnbLim
 
     ++state.stats.waves;
     ++waves_this_invocation;
+
+    if (checkpointing) {
+      // Delta checkpoint: flush the incumbent log (so its recorded offset
+      // is durable before the record referencing it), then append and
+      // flush this wave's journal record.
+      log.flush();
+      state.log_bytes = log.bytes();
+      Json record = Json::object();
+      record.set("wave", Json(state.stats.waves));
+      record.set("popped", Json(pending_popped));
+      record.set("children", Json(std::move(wave_children)));
+      record.set("incumbent", state.stats.improvements > improvements_before
+                                  ? incumbent_to_json(state.incumbent, options.dim_names)
+                                  : Json());
+      record.set("stats", stats_to_json(state.stats));
+      record.set("log_bytes", Json(state.log_bytes));
+      support::JsonlSink& sink = journal_sink();
+      sink.append(record.dump() + "\n");
+      sink.flush();
+      journal_dirty = true;
+      pending_popped = 0;
+      if (state.stats.waves % options.checkpoint_every == 0) compact();
+    } else {
+      // No checkpoint references segment files, so drained/merged ones
+      // can be deleted as soon as the frontier retires them.
+      state.frontier.prune_retired();
+    }
     if (options.progress) options.progress(state.stats.evaluated, state.frontier.size());
-    if (!options.checkpoint_path.empty() && state.stats.waves % options.checkpoint_every == 0)
-      write_checkpoint();
   }
 
-  // Persist the frontier even off a checkpoint_every boundary, so the next
-  // invocation resumes from exactly where this one stopped — and so a
-  // finished search leaves a terminal checkpoint behind.
-  write_checkpoint();
+  // Fold the journal into a terminal base even off a compaction boundary,
+  // so the next invocation resumes from exactly where this one stopped —
+  // and a finished search leaves a terminal checkpoint behind.
+  compact();
 
   BnbResult result;
   result.incumbent = state.incumbent;
@@ -384,8 +567,11 @@ BnbResult run_bnb(const ParamBox& root, const Objective& objective, const BnbLim
   result.exhausted = state.frontier.empty();
   result.budget_reached = state.stats.evaluated >= limits.max_boxes;
   result.open_boxes = state.frontier.size();
-  result.frontier_bound = state.frontier.empty() ? -kInf : state.frontier.begin()->bound;
+  const OpenBox* best = state.frontier.peek_best();
+  result.frontier_bound = best == nullptr ? -kInf : best->bound;
   result.dim_names = options.dim_names;
+  result.frontier_hot_high_water = state.frontier.hot_high_water();
+  result.frontier_spilled = state.frontier.spilled();
   return result;
 }
 

@@ -24,10 +24,24 @@
 // spent (the certificate reports the residual frontier bound instead: no
 // open box can beat the incumbent by more than frontier_bound - score).
 //
-// Checkpoint/resume reuses the campaign JSON layer: the checkpoint holds
-// the exact-rational frontier, the incumbent, the statistics and the
-// incumbent-log byte offset; a resumed run continues the identical wave
-// sequence and lands on the same certificate as an uninterrupted one.
+// Frontier scaling: the open frontier lives in a support::SpillDeque —
+// by default fully in memory, but with a spill directory and a hot-set
+// capacity the cold tail of the bound-ordered frontier moves to
+// append-only JSONL segment files (exact-rational boxes, lossless), so
+// million-box frontiers no longer have to fit in RAM. The pop sequence
+// of the spilled deque is element-for-element the in-memory sequence, so
+// spilling can never change a certificate byte.
+//
+// Checkpoint/resume is delta-based: a *base* checkpoint (exact-rational
+// hot frontier + segment-file references + incumbent + statistics +
+// incumbent-log offset) plus an append-only *wave journal* — one JSONL
+// record per wave holding the pop count, the surviving children and the
+// incumbent/stat deltas. Resume loads the base, replays the journal
+// (re-applying each wave's merge without re-simulating a single box) and
+// continues the identical wave sequence. Every checkpoint_every waves
+// the journal is *compacted* into a fresh base; the write order (new
+// base first, then journal/segment cleanup) makes a kill at any point —
+// including mid-compaction — recoverable to the same bytes.
 #pragma once
 
 #include <cstdint>
@@ -66,12 +80,31 @@ struct BnbOptions {
   /// Empty = off.
   std::string incumbent_log_path;
 
-  /// Checkpoint file enabling resume. Empty = off.
+  /// Base-checkpoint file enabling resume; the per-wave journal rides
+  /// beside it as "<checkpoint_path>.wave.<generation>.jsonl". Empty = off.
   std::string checkpoint_path;
-  /// Write the checkpoint every this many completed waves (>= 1).
+  /// Compact the wave journal into a fresh base checkpoint every this
+  /// many completed waves (>= 1). The journal itself is appended (and
+  /// flushed) after *every* wave, so a kill loses at most the wave in
+  /// flight regardless of this cadence.
   std::size_t checkpoint_every = 16;
   /// Continue from checkpoint_path if it exists (fresh start otherwise).
   bool resume = false;
+
+  /// Spill-to-disk frontier: directory for cold-tail segment files.
+  /// Empty = keep the whole frontier in memory. Invocation-side: a
+  /// spilled and an in-memory run produce byte-identical artifacts.
+  /// The directory belongs to this search alone (like checkpoint_path):
+  /// fresh starts and resumes reclaim every segment file the current
+  /// state does not reference, so concurrent searches need distinct
+  /// directories.
+  std::string spill_dir;
+  /// Max open boxes held in memory (0 = unbounded); nonzero requires
+  /// spill_dir. Never changes the result, only where the frontier lives.
+  std::size_t frontier_mem = 0;
+  /// Open segment-file cap before the spill store k-way-merges them into
+  /// one sorted run (>= 1).
+  std::size_t spill_max_segments = 8;
 
   /// Stop after this many waves in *this* invocation (0 = run to the end);
   /// with a checkpoint this yields incremental execution.
@@ -129,8 +162,15 @@ struct BnbResult {
   /// Dimension labels for the certificate (copied from BnbOptions).
   std::vector<std::string> dim_names;
 
+  /// Invocation-side frontier observability — deliberately NOT part of
+  /// the certificate: a spilled and an in-memory run of the same search
+  /// report different values here while producing identical certificates.
+  std::uint64_t frontier_hot_high_water = 0;  ///< max boxes resident in memory
+  std::uint64_t frontier_spilled = 0;         ///< boxes written to disk segments
+
   /// The certificate body: incumbent, stats, frontier residual. Depends
-  /// only on (spec, limits) — not on worker count or interruption pattern.
+  /// only on (spec, limits) — not on worker count, interruption pattern
+  /// or spill configuration.
   [[nodiscard]] support::Json to_json() const;
 };
 

@@ -1,5 +1,8 @@
 #include "search/box.hpp"
 
+#include <cmath>
+#include <limits>
+
 #include "support/check.hpp"
 
 namespace aurv::search {
@@ -72,6 +75,31 @@ ParamBox ParamBox::from_json(const Json& json) {
                             Rational::from_string(ends[1].as_string())});
   }
   return ParamBox(std::move(dims), json.at("id").as_string());
+}
+
+Json bound_to_json(double bound) {
+  if (std::isinf(bound)) return Json(bound > 0 ? "inf" : "-inf");
+  return Json(bound);
+}
+
+double bound_from_json(const Json& json) {
+  if (json.is_string()) {
+    if (json.as_string() == "inf") return std::numeric_limits<double>::infinity();
+    if (json.as_string() == "-inf") return -std::numeric_limits<double>::infinity();
+    throw support::JsonError("bound: expected a number, \"inf\" or \"-inf\", got \"" +
+                             json.as_string() + "\"");
+  }
+  return json.as_number();
+}
+
+Json OpenBox::to_json() const {
+  Json json = box.to_json();
+  json.set("bound", bound_to_json(bound));
+  return json;
+}
+
+OpenBox OpenBox::from_json(const Json& json) {
+  return OpenBox{ParamBox::from_json(json), bound_from_json(json.at("bound"))};
 }
 
 }  // namespace aurv::search

@@ -84,4 +84,43 @@ class ParamBox {
   std::string id_;
 };
 
+/// Bounds can be +/-infinity, which JSON numbers cannot hold; the
+/// infinities serialize as the strings "inf"/"-inf" and finite doubles
+/// round-trip exactly (shortest to_chars form). Shared by checkpoints,
+/// the wave journal and spill segments so every artifact agrees.
+[[nodiscard]] support::Json bound_to_json(double bound);
+/// Throws support::JsonError on anything else — silently mapping garbage
+/// to -inf would prune the box and still emit a "complete" certificate.
+[[nodiscard]] double bound_from_json(const support::Json& json);
+
+/// One frontier entry: a box and its (cached) objective bound — the unit
+/// the branch-and-bound keeps in memory, spills to disk segments, and
+/// records in checkpoints. Serialization is the box's lossless JSON plus
+/// a "bound" field.
+struct OpenBox {
+  ParamBox box;
+  double bound;
+
+  [[nodiscard]] support::Json to_json() const;
+  [[nodiscard]] static OpenBox from_json(const support::Json& json);
+
+  friend bool operator==(const OpenBox& a, const OpenBox& b) = default;
+};
+
+/// Best-first, deterministic total order: bound descending, then the
+/// refinement-tree path ascending (paths are unique, so this never ties).
+struct FrontierOrder {
+  bool operator()(const OpenBox& a, const OpenBox& b) const {
+    if (a.bound != b.bound) return a.bound > b.bound;
+    return a.box.id() < b.box.id();
+  }
+};
+
+/// The OpenBox codec in the shape support::SpillDeque expects — one
+/// definition shared by the branch-and-bound frontier and its tests.
+struct OpenBoxCodec {
+  static support::Json to_json(const OpenBox& open) { return open.to_json(); }
+  static OpenBox from_json(const support::Json& json) { return OpenBox::from_json(json); }
+};
+
 }  // namespace aurv::search

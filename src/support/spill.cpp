@@ -1,0 +1,61 @@
+#include "support/spill.hpp"
+
+#include <stdexcept>
+
+namespace aurv::support {
+
+SpillSegmentWriter::SpillSegmentWriter(std::string path) : path_(std::move(path)) {
+  // "wb": a leftover segment of the same name from a pre-crash run is
+  // truncated — deterministic replay recreates it byte-identically.
+  file_ = std::fopen(path_.c_str(), "wb");
+  if (file_ == nullptr)
+    throw std::runtime_error("spill: cannot create segment " + path_);
+}
+
+SpillSegmentWriter::~SpillSegmentWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void SpillSegmentWriter::append(const std::string& line) {
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
+      std::fputc('\n', file_) == EOF)
+    throw std::runtime_error("spill: write failed on segment " + path_);
+  ++records_;
+}
+
+void SpillSegmentWriter::close() {
+  if (file_ == nullptr) return;
+  const bool ok = std::fflush(file_) == 0 && std::ferror(file_) == 0;
+  std::fclose(file_);
+  file_ = nullptr;
+  if (!ok) throw std::runtime_error("spill: flush failed on segment " + path_);
+}
+
+SpillSegmentReader::SpillSegmentReader(std::string path, std::uint64_t offset,
+                                       std::uint64_t remaining)
+    : path_(std::move(path)), offset_(offset), remaining_(remaining) {
+  if (remaining_ == 0) return;  // fully drained: nothing to open
+  file_ = std::make_unique<std::ifstream>(path_, std::ios::binary);
+  if (!file_->is_open())
+    throw std::invalid_argument("spill: cannot open segment " + path_ +
+                                " (missing or unreadable; the spill directory does not match "
+                                "this checkpoint)");
+  file_->seekg(static_cast<std::streamoff>(offset_));
+  read_head();
+}
+
+void SpillSegmentReader::advance() {
+  AURV_CHECK_MSG(remaining_ > 0, "spill: advance past the end of a segment");
+  offset_ += head_.size() + 1;  // the record and its newline
+  --remaining_;
+  if (remaining_ > 0) read_head();
+}
+
+void SpillSegmentReader::read_head() {
+  if (!std::getline(*file_, head_))
+    throw std::invalid_argument("spill: segment " + path_ +
+                                " is shorter than the checkpoint's recorded record count "
+                                "(truncated or mismatched segment file)");
+}
+
+}  // namespace aurv::support

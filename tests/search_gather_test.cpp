@@ -362,6 +362,31 @@ TEST(GatherSearch, CheckpointResumeMatchesOneShot) {
   EXPECT_EQ(slurp(log), slurp(log_oneshot));
 }
 
+TEST(GatherSearch, SpilledFrontierIsByteIdenticalToInMemory) {
+  // The gather-tuple oracle through the spill-to-disk frontier: a run
+  // whose cold frontier tail lives in JSONL segments must certify the
+  // same worst chain, byte for byte, as the all-in-memory run.
+  const SearchSpec spec = gather_search_spec();
+  const std::string log_mem = temp_path("gather_spill_mem.jsonl");
+  const std::string log_disk = temp_path("gather_spill_disk.jsonl");
+  const std::string spill_dir = temp_path("gather_spill_dir");
+  std::filesystem::remove_all(spill_dir);
+
+  SearchOptions in_memory;
+  in_memory.max_shards = 2;
+  in_memory.incumbent_log_path = log_mem;
+  SearchOptions spilled = in_memory;
+  spilled.incumbent_log_path = log_disk;
+  spilled.spill_dir = spill_dir;
+  spilled.frontier_mem = 2;
+
+  const exp::SearchRunResult mem = exp::run_search(spec, in_memory);
+  const exp::SearchRunResult disk = exp::run_search(spec, spilled);
+  EXPECT_EQ(mem.certificate(spec).dump(2), disk.certificate(spec).dump(2));
+  EXPECT_EQ(slurp(log_mem), slurp(log_disk));
+  EXPECT_GT(disk.bnb.frontier_spilled, 0u) << "frontier_mem=2 must actually spill";
+}
+
 TEST(GatherSearch, CommittedScenarioRunsToACompleteCertificate) {
   const SearchSpec spec = SearchSpec::load(scenario_path("search_gather_worst.json"));
   SearchOptions options;

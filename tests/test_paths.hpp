@@ -23,6 +23,21 @@ inline std::string slurp(const std::string& path) {
   return buffer.str();
 }
 
+/// Per-test scratch directory, recreated empty on every call.
+inline std::string fresh_dir(const std::string& leaf) {
+  const std::string dir = temp_path(leaf);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// Recursive directory copy replacing `to` — the snapshot/restore
+/// primitive of the kill-simulation tests.
+inline void copy_dir(const std::string& from, const std::string& to) {
+  std::filesystem::remove_all(to);
+  std::filesystem::copy(from, to, std::filesystem::copy_options::recursive);
+}
+
 /// scenarios/ relative to the test binary: tests run from build/, the repo
 /// root is the source dir recorded at configure time via the working tree.
 inline std::string scenario_path(const std::string& leaf) {
