@@ -9,7 +9,9 @@
 //       --jsonl PATH         per-run JSONL records, in job order
 //       --checkpoint PATH    checkpoint file (enables --resume)
 //       --checkpoint-every K checkpoint every K shards (default 64)
-//       --resume             continue from the checkpoint if it exists
+//       --resume             continue from the checkpoint; a missing,
+//                            truncated or foreign checkpoint is refused
+//                            with one structured stderr line (exit 5)
 //       --shard-size K       jobs per shard (default 256)
 //       --max-shards K       stop after K shards (incremental execution)
 //       --quiet              no progress on stderr
@@ -25,7 +27,9 @@
 //       --compact-every K    compact the wave journal into a fresh base
 //                            every K waves (default 16; --checkpoint-every
 //                            is an alias)
-//       --resume             continue from the checkpoint if it exists
+//       --resume             continue from the checkpoint; a missing,
+//                            truncated or foreign checkpoint is refused
+//                            with one structured stderr line (exit 5)
 //       --max-waves K        stop after K waves (incremental execution)
 //       --spill-dir PATH     spill the cold frontier tail to JSONL segment
 //                            files in PATH (in-memory frontier otherwise);
@@ -35,11 +39,18 @@
 //                            --spill-dir; 0 = unbounded, default)
 //       --spill-segments N   open segment files before a k-way merge
 //                            compacts them (default 8)
+//       --degraded-cap N     max open boxes held in memory after the spill
+//                            directory goes unwritable/full and the
+//                            frontier degrades to in-memory mode (0 =
+//                            unbounded, default); past it the run fails
+//                            with a structured error
 //       --quiet              no progress on stderr
 //
 //       The spill/compaction flags are invocation-side: certificates,
 //       incumbent logs and prune stats are byte-identical in-memory vs.
-//       spilled, at any --max-shards, and across checkpoint/resume.
+//       spilled, at any --max-shards, and across checkpoint/resume —
+//       including runs whose spill directory failed mid-hunt (the
+//       degradation is reported on stderr, never in the certificate).
 //   aurv_sweep describe <spec.json>       parsed spec + first instances (either kind)
 //   aurv_sweep list                       registered algorithms, samplers, objectives
 //
@@ -58,6 +69,7 @@
 #include "gatherx/census.hpp"
 #include "gatherx/scenario.hpp"
 #include "search/objective.hpp"
+#include "support/jsonl.hpp"
 #include "support/parse.hpp"
 
 namespace {
@@ -73,7 +85,8 @@ int usage() {
                "  aurv_sweep search <search.json> [--max-shards N] [--out PATH]\n"
                "             [--incumbent-log PATH] [--checkpoint PATH] [--compact-every K]\n"
                "             [--resume] [--max-waves K] [--spill-dir PATH]\n"
-               "             [--frontier-mem N] [--spill-segments N] [--quiet]\n"
+               "             [--frontier-mem N] [--spill-segments N] [--degraded-cap N]\n"
+               "             [--quiet]\n"
                "  aurv_sweep describe <spec.json>\n"
                "  aurv_sweep list\n");
   return 2;
@@ -173,6 +186,8 @@ int cmd_search(int argc, char** argv) {
       options.frontier_mem = support::parse_uint(value(), "--frontier-mem");
     else if (flag == "--spill-segments")
       options.spill_max_segments = support::parse_uint(value(), "--spill-segments");
+    else if (flag == "--degraded-cap")
+      options.frontier_degraded_capacity = support::parse_uint(value(), "--degraded-cap");
     else if (flag == "--quiet") quiet = true;
     else {
       std::fprintf(stderr, "unknown option: %s\n", flag.c_str());
@@ -197,6 +212,10 @@ int cmd_search(int argc, char** argv) {
                  : result.bnb.budget_reached ? "box budget spent"
                                              : "stopped by --max-waves");
   }
+  // Invocation-side only — the certificate is byte-identical regardless.
+  if (result.bnb.frontier_degraded)
+    std::fprintf(stderr, "warning: spill degraded to in-memory mode (%s)\n",
+                 result.bnb.frontier_degradation.c_str());
 
   const support::Json certificate = result.certificate(spec);
   if (out_path.empty()) {
@@ -311,6 +330,10 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[1], "describe") == 0 && argc == 3) return cmd_describe(argv[2]);
     if (std::strcmp(argv[1], "run") == 0) return cmd_run(argc - 2, argv + 2);
     if (std::strcmp(argv[1], "search") == 0) return cmd_search(argc - 2, argv + 2);
+  } catch (const support::CheckpointError& error) {
+    // One machine-parseable line: {"error":"checkpoint-resume","path":...,"reason":...}
+    std::fprintf(stderr, "%s\n", error.structured().c_str());
+    return 5;  // 5 = unresumable checkpoint
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 3;

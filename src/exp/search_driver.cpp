@@ -30,6 +30,7 @@ SearchRunResult run_search(const SearchSpec& spec, const SearchOptions& options)
   bnb_options.spill_dir = options.spill_dir;
   bnb_options.frontier_mem = options.frontier_mem;
   bnb_options.spill_max_segments = options.spill_max_segments;
+  bnb_options.frontier_degraded_capacity = options.frontier_degraded_capacity;
   bnb_options.max_waves = options.max_waves;
   bnb_options.fingerprint = support::fingerprint_hex(spec.fingerprint());
   bnb_options.dim_names = spec.space.dim_names;

@@ -40,6 +40,9 @@ struct SearchOptions {
   std::size_t frontier_mem = 0;
   /// Open segment-file cap before spilled runs are k-way-merged.
   std::size_t spill_max_segments = 8;
+  /// Hot-frontier bound while the spill store is degraded (dir unwritable
+  /// or full); 0 = unbounded in-memory fallback. See BnbOptions.
+  std::size_t frontier_degraded_capacity = 0;
 
   /// Stop after this many waves in *this* invocation (0 = run to the end).
   std::size_t max_waves = 0;

@@ -77,12 +77,17 @@ template <typename Aggregate, typename RunJob>
     return json;
   };
   const auto checkpoint_from_json = [&](const Json& json) {
+    // Foreign checkpoints carry the path so drivers can emit one
+    // structured diagnostic line (CheckpointError is still an
+    // invalid_argument — the contract below is unchanged).
     if (json.string_or("kind", "") != checkpoint_kind)
-      throw std::invalid_argument(std::string("checkpoint: not a ") + checkpoint_kind +
-                                  " file");
+      throw support::CheckpointError(
+          options.checkpoint_path,
+          std::string("not a ") + checkpoint_kind + " file (foreign checkpoint)");
     if (json.at("fingerprint").as_string() != fingerprint_hex)
-      throw std::invalid_argument(
-          "checkpoint: spec fingerprint mismatch (spec edited since the checkpoint was "
+      throw support::CheckpointError(
+          options.checkpoint_path,
+          "spec fingerprint mismatch (spec edited since the checkpoint was "
           "written; delete the checkpoint to start over)");
     if (json.at("shard_size").as_uint() != options.shard_size)
       throw std::invalid_argument("checkpoint: shard_size mismatch (resume with --shard-size " +
@@ -99,9 +104,24 @@ template <typename Aggregate, typename RunJob>
   };
 
   CheckpointState state;  // completed prefix (empty unless resuming)
-  if (options.resume && !options.checkpoint_path.empty() &&
-      std::filesystem::exists(options.checkpoint_path)) {
-    state = checkpoint_from_json(Json::load_file(options.checkpoint_path));
+  if (options.resume && !options.checkpoint_path.empty()) {
+    // An explicit --resume with nothing (usable) to resume is refused
+    // with a structured error instead of silently starting over:
+    // restarting would truncate the very stream the caller asked to
+    // extend.
+    if (!support::vfs().exists(options.checkpoint_path))
+      throw support::CheckpointError(
+          options.checkpoint_path,
+          "missing (no checkpoint at this path; run without --resume to start fresh)");
+    Json checkpoint;
+    try {
+      checkpoint = Json::load_file(options.checkpoint_path);
+    } catch (const support::JsonError& error) {
+      throw support::CheckpointError(
+          options.checkpoint_path,
+          std::string("unreadable or truncated (") + error.what() + ")");
+    }
+    state = checkpoint_from_json(checkpoint);
     if (state.completed_shards > total_shards)
       throw std::invalid_argument("checkpoint: more shards than the stream has");
   }

@@ -135,13 +135,9 @@ void remove_stale_journals(const std::string& checkpoint_path, const std::string
   const std::string& keep = keep_filename;
   const std::filesystem::path dir =
       base.has_parent_path() ? base.parent_path() : std::filesystem::path(".");
-  std::error_code ec;
-  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
-    const std::string name = entry.path().filename().string();
-    if (name.rfind(prefix, 0) == 0 && name != keep) {
-      std::error_code remove_ec;
-      std::filesystem::remove(entry.path(), remove_ec);  // best-effort
-    }
+  for (const std::string& name : support::vfs().list_dir(dir.string())) {
+    if (name.rfind(prefix, 0) == 0 && name != keep)
+      support::vfs().remove((dir / name).string());  // best-effort
   }
 }
 
@@ -169,19 +165,24 @@ Json checkpoint_to_json(const SearchState& state, const ParamBox& root,
   return json;
 }
 
-SearchState checkpoint_from_json(const Json& json, const ParamBox& root,
+SearchState checkpoint_from_json(const Json& json, const std::string& path, const ParamBox& root,
                                  const Objective& objective, const BnbLimits& limits,
                                  const BnbOptions& options,
                                  const Frontier::Config& frontier_config) {
+  // "Foreign" checkpoints — written by a different search, spec or build —
+  // are CheckpointErrors: structured (path + reason) so a driver can emit
+  // one machine-parseable diagnostic line instead of a bare what().
   if (json.string_or("kind", "") != "search-checkpoint")
-    throw std::invalid_argument("checkpoint: not a search-checkpoint file");
+    throw support::CheckpointError(path, "not a search-checkpoint file (foreign checkpoint)");
   if (json.uint_or("schema", 0) != 2)
-    throw std::invalid_argument(
-        "checkpoint: schema " + std::to_string(json.uint_or("schema", 0)) +
-        " (written by a different build of the search; delete the checkpoint to start over)");
+    throw support::CheckpointError(
+        path, "schema " + std::to_string(json.uint_or("schema", 0)) +
+                  " (written by a different build of the search; delete the checkpoint to "
+                  "start over)");
   if (json.at("fingerprint").as_string() != options.fingerprint)
-    throw std::invalid_argument(
-        "checkpoint: search fingerprint mismatch (spec edited since the checkpoint was "
+    throw support::CheckpointError(
+        path,
+        "search fingerprint mismatch (spec edited since the checkpoint was "
         "written; delete the checkpoint to start over)");
   // The spec fingerprint covers these for exp::run_search, but direct
   // run_bnb callers may leave it empty — guard the search identity itself
@@ -189,8 +190,9 @@ SearchState checkpoint_from_json(const Json& json, const ParamBox& root,
   // stale checkpoint can never seed a different search.
   if (!(json.at("root") == root.to_json()) ||
       !(json.at("objective") == objective.descriptor()))
-    throw std::invalid_argument(
-        "checkpoint: root box or objective mismatch with the running search (stale "
+    throw support::CheckpointError(
+        path,
+        "root box or objective mismatch with the running search (stale "
         "checkpoint from a different search; delete it to start over)");
   if (json.at("wave_size").as_uint() != limits.wave_size ||
       json.at("max_boxes").as_uint() != limits.max_boxes ||
@@ -245,14 +247,8 @@ void replay_record(SearchState& state, const Json& record,
 /// truncates it on reopen).
 std::uint64_t replay_journal(SearchState& state, const std::string& path,
                              const std::vector<std::string>& names, std::size_t dim_count) {
-  if (!std::filesystem::exists(path)) return 0;
-  std::string data;
-  {
-    std::ifstream in(path, std::ios::binary);
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    data = buffer.str();
-  }
+  if (!support::vfs().exists(path)) return 0;
+  const std::string data = support::vfs().read_file(path);
   std::size_t consumed = 0;
   while (true) {
     const std::size_t newline = data.find('\n', consumed);
@@ -319,6 +315,7 @@ BnbResult run_bnb(const ParamBox& root, const Objective& objective, const BnbLim
   frontier_config.spill_dir = options.spill_dir;
   frontier_config.mem_capacity = options.frontier_mem;
   frontier_config.max_segments = options.spill_max_segments;
+  frontier_config.degraded_capacity = options.frontier_degraded_capacity;
 
   const bool checkpointing = !options.checkpoint_path.empty();
 
@@ -326,9 +323,24 @@ BnbResult run_bnb(const ParamBox& root, const Objective& objective, const BnbLim
   state.frontier = Frontier(frontier_config);
   bool resumed = false;
   std::uint64_t journal_bytes = 0;
-  if (options.resume && checkpointing && std::filesystem::exists(options.checkpoint_path)) {
-    state = checkpoint_from_json(Json::load_file(options.checkpoint_path), root, objective,
-                                 limits, options, frontier_config);
+  if (options.resume && checkpointing) {
+    // An explicit --resume with nothing (usable) to resume is refused with
+    // a structured error instead of silently starting over: restarting
+    // would overwrite the very artifacts the caller asked to extend.
+    if (!support::vfs().exists(options.checkpoint_path))
+      throw support::CheckpointError(
+          options.checkpoint_path,
+          "missing (no checkpoint at this path; run without --resume to start fresh)");
+    Json checkpoint;
+    try {
+      checkpoint = Json::load_file(options.checkpoint_path);
+    } catch (const support::JsonError& error) {
+      throw support::CheckpointError(
+          options.checkpoint_path,
+          std::string("unreadable or truncated (") + error.what() + ")");
+    }
+    state = checkpoint_from_json(checkpoint, options.checkpoint_path, root, objective, limits,
+                                 options, frontier_config);
     journal_bytes = replay_journal(state, journal_path(options.checkpoint_path, state.generation),
                                    options.dim_names, root.dim_count());
     resumed = true;
@@ -572,6 +584,8 @@ BnbResult run_bnb(const ParamBox& root, const Objective& objective, const BnbLim
   result.dim_names = options.dim_names;
   result.frontier_hot_high_water = state.frontier.hot_high_water();
   result.frontier_spilled = state.frontier.spilled();
+  result.frontier_degraded = state.frontier.degraded();
+  result.frontier_degradation = state.frontier.degradation();
   return result;
 }
 

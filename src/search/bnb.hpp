@@ -88,7 +88,11 @@ struct BnbOptions {
   /// flushed) after *every* wave, so a kill loses at most the wave in
   /// flight regardless of this cadence.
   std::size_t checkpoint_every = 16;
-  /// Continue from checkpoint_path if it exists (fresh start otherwise).
+  /// Continue from checkpoint_path. A missing, unreadable/truncated or
+  /// foreign (different search) checkpoint is refused with a
+  /// support::CheckpointError naming the path and the reason — an
+  /// explicit resume silently restarting from scratch would lie about
+  /// what the artifacts contain.
   bool resume = false;
 
   /// Spill-to-disk frontier: directory for cold-tail segment files.
@@ -105,6 +109,12 @@ struct BnbOptions {
   /// Open segment-file cap before the spill store k-way-merges them into
   /// one sorted run (>= 1).
   std::size_t spill_max_segments = 8;
+  /// Hot-frontier bound while the spill store is *degraded* (spill dir
+  /// unwritable or full): past it the run fails with a structured error
+  /// instead of growing without limit. 0 = unbounded in-memory fallback.
+  /// Invocation-side like the rest: degradation never changes the
+  /// certificate, only whether the run can finish.
+  std::size_t frontier_degraded_capacity = 0;
 
   /// Stop after this many waves in *this* invocation (0 = run to the end);
   /// with a checkpoint this yields incremental execution.
@@ -167,6 +177,11 @@ struct BnbResult {
   /// report different values here while producing identical certificates.
   std::uint64_t frontier_hot_high_water = 0;  ///< max boxes resident in memory
   std::uint64_t frontier_spilled = 0;         ///< boxes written to disk segments
+  /// True when a persistent spill-write failure demoted the frontier to
+  /// in-memory mode mid-run; the certificate is still byte-identical.
+  bool frontier_degraded = false;
+  /// The first failure behind the demotion ("" when healthy).
+  std::string frontier_degradation;
 
   /// The certificate body: incumbent, stats, frontier residual. Depends
   /// only on (spec, limits) — not on worker count, interruption pattern

@@ -9,26 +9,71 @@
 // the interruption) and appends from there. A file *shorter* than the
 // recorded offset means stream and checkpoint are out of sync, which is
 // refused instead of silently padding the hole.
+//
+// All mutating I/O goes through the support::vfs() seam (see vfs.hpp),
+// with a bounded deterministic retry for transient failures: a torn
+// append is rolled back to the sink's durable byte count before the
+// retry, so the rewrite can never duplicate a partial record.
 #pragma once
 
 #include <cinttypes>
 #include <cstdint>
 #include <cstdio>
-#include <filesystem>
+#include <memory>
 #include <stdexcept>
 #include <string>
 
 #include "support/json.hpp"
+#include "support/vfs.hpp"
 
 namespace aurv::support {
 
+/// A checkpoint that cannot be resumed: missing, unreadable/truncated, or
+/// written by a different run ("foreign"). Carries the path and a
+/// one-line reason so drivers can exit with a structured diagnostic
+/// instead of a bare parse error. Derived from std::invalid_argument: it
+/// *is* an option/checkpoint mismatch, just a self-describing one.
+class CheckpointError : public std::invalid_argument {
+ public:
+  CheckpointError(std::string path, std::string reason)
+      : std::invalid_argument("checkpoint " + path + ": " + reason),
+        path_(std::move(path)),
+        reason_(std::move(reason)) {}
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] const std::string& reason() const noexcept { return reason_; }
+
+  /// One-line machine-parseable form for CLI stderr:
+  ///   {"error":"checkpoint-resume","path":"...","reason":"..."}
+  [[nodiscard]] std::string structured() const {
+    Json json = Json::object();
+    json.set("error", Json("checkpoint-resume"));
+    json.set("path", Json(path_));
+    json.set("reason", Json(reason_));
+    return json.dump();
+  }
+
+ private:
+  std::string path_;
+  std::string reason_;
+};
+
 /// Write-then-rename so an interrupted write can never leave a truncated
 /// checkpoint behind: the previous checkpoint survives until the new one is
-/// fully on disk.
-inline void save_json_atomically(const std::string& path, const Json& json) {
+/// fully on disk. Transient write/rename failures are retried with
+/// deterministic backoff; persistent ones propagate as VfsError.
+inline void save_json_atomically(const std::string& path, const Json& json,
+                                 const RetryPolicy& retry = {}) {
   const std::string tmp = path + ".tmp";
-  json.save_file(tmp);
-  std::filesystem::rename(tmp, path);
+  const std::string text = json.dump(2);
+  retry_io(retry, [&] {
+    // Reopen-truncate on every attempt: a torn first try leaves no prefix
+    // for the retry to double-write.
+    const std::unique_ptr<VfsFile> file = vfs().open_write(tmp, Vfs::OpenMode::Truncate);
+    file->write(text);
+    file->close();
+  });
+  retry_io(retry, [&] { vfs().rename(tmp, path); });
 }
 
 /// Canonical rendering of a spec fingerprint in checkpoint files: 16
@@ -45,47 +90,76 @@ class JsonlSink {
   /// Opens `path` for writing ("" = disabled sink, every call a no-op).
   /// `resume_bytes` > 0 truncates to that offset and appends; 0 starts the
   /// stream over.
-  explicit JsonlSink(const std::string& path, std::uint64_t resume_bytes = 0) {
+  explicit JsonlSink(const std::string& path, std::uint64_t resume_bytes = 0,
+                     RetryPolicy retry = {})
+      : path_(path), retry_(retry) {
     if (path.empty()) return;
     if (resume_bytes > 0) {
-      std::error_code ec;
-      const std::uintmax_t existing = std::filesystem::file_size(path, ec);
-      if (ec || existing < resume_bytes)
+      std::uint64_t existing = 0;
+      bool readable = vfs().exists(path);
+      if (readable) {
+        try {
+          existing = vfs().file_size(path);
+        } catch (const VfsError&) {
+          readable = false;
+        }
+      }
+      if (!readable || existing < resume_bytes)
         throw std::invalid_argument(
             "jsonl: " + path + " is shorter than the checkpoint's recorded offset (" +
             std::to_string(resume_bytes) +
             " bytes); the stream does not match this checkpoint — delete both to start over");
-      std::filesystem::resize_file(path, resume_bytes, ec);
-      if (ec)
-        throw std::invalid_argument("jsonl: cannot truncate " + path + " for resume: " +
-                                    ec.message());
-      file_ = std::fopen(path.c_str(), "ab");
+      try {
+        retry_io(retry_, [&] { vfs().resize_file(path, resume_bytes); });
+      } catch (const VfsError& error) {
+        throw std::invalid_argument("jsonl: cannot truncate " + path +
+                                    " for resume: " + error.reason());
+      }
+      file_ = retry_io(retry_, [&] { return vfs().open_write(path, Vfs::OpenMode::Append); });
     } else {
-      file_ = std::fopen(path.c_str(), "wb");
+      file_ = retry_io(retry_, [&] { return vfs().open_write(path, Vfs::OpenMode::Truncate); });
     }
-    if (file_ == nullptr) throw std::invalid_argument("jsonl: cannot open " + path);
     bytes_ = resume_bytes;
   }
-  ~JsonlSink() {
-    if (file_ != nullptr) std::fclose(file_);
-  }
+
   JsonlSink(const JsonlSink&) = delete;
   JsonlSink& operator=(const JsonlSink&) = delete;
 
   void append(const std::string& text) {
     if (file_ == nullptr) return;
-    if (std::fwrite(text.data(), 1, text.size(), file_) != text.size())
-      throw std::runtime_error("jsonl: write failed");
-    bytes_ += text.size();
+    for (int attempt = 1;; ++attempt) {
+      try {
+        file_->write(text);
+        bytes_ += text.size();
+        return;
+      } catch (const VfsError& error) {
+        // Roll back whatever torn prefix reached the file so a retry (or
+        // a later resume against the recorded offset) never sees it.
+        try {
+          file_->truncate_to(bytes_);
+        } catch (const VfsError&) {
+          // The rewind itself failed: the durable-prefix contract now
+          // rests on the resume-side truncation, which uses the recorded
+          // offset and is therefore still sound.
+        }
+        if (!error.transient() || attempt >= retry_.attempts) throw;
+        vfs().sleep_for_ms(retry_.backoff_ms << (attempt - 1));
+      }
+    }
   }
+
   void flush() {
-    if (file_ != nullptr) std::fflush(file_);
+    if (file_ == nullptr) return;
+    retry_io(retry_, [&] { file_->flush(); });
   }
+
   /// Durable-prefix offset to record in checkpoints.
   [[nodiscard]] std::uint64_t bytes() const noexcept { return bytes_; }
 
  private:
-  std::FILE* file_ = nullptr;
+  std::string path_;
+  RetryPolicy retry_;
+  std::unique_ptr<VfsFile> file_;  ///< closed silently by the destructor
   std::uint64_t bytes_ = 0;
 };
 

@@ -2,33 +2,48 @@
 
 #include <stdexcept>
 
+#include "support/vfs.hpp"
+
 namespace aurv::support {
 
-SpillSegmentWriter::SpillSegmentWriter(std::string path) : path_(std::move(path)) {
-  // "wb": a leftover segment of the same name from a pre-crash run is
-  // truncated — deterministic replay recreates it byte-identically.
-  file_ = std::fopen(path_.c_str(), "wb");
-  if (file_ == nullptr)
-    throw std::runtime_error("spill: cannot create segment " + path_);
+SpillSegmentWriter::SpillSegmentWriter(std::string path, RetryPolicy retry)
+    : path_(std::move(path)), retry_(retry) {
+  // Truncate: a leftover segment of the same name from a pre-crash run is
+  // overwritten — deterministic replay recreates it byte-identically.
+  file_ = retry_io(retry_, [&] { return vfs().open_write(path_, Vfs::OpenMode::Truncate); });
 }
 
-SpillSegmentWriter::~SpillSegmentWriter() {
-  if (file_ != nullptr) std::fclose(file_);
-}
+SpillSegmentWriter::~SpillSegmentWriter() = default;  // VfsFile closes silently
 
 void SpillSegmentWriter::append(const std::string& line) {
-  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
-      std::fputc('\n', file_) == EOF)
-    throw std::runtime_error("spill: write failed on segment " + path_);
-  ++records_;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      file_->write(line);
+      file_->write("\n");
+      bytes_ += line.size() + 1;
+      ++records_;
+      return;
+    } catch (const VfsError& error) {
+      // A torn record may have reached the file; rewind to the last
+      // record boundary so a retry cannot leave duplicate bytes behind.
+      try {
+        file_->truncate_to(bytes_);
+      } catch (const VfsError&) {
+        // Rewind failed too: give up through the throw below — the
+        // partially-written segment is removed by the caller.
+      }
+      if (!error.transient() || attempt >= retry_.attempts) throw;
+      vfs().sleep_for_ms(retry_.backoff_ms << (attempt - 1));
+    }
+  }
 }
 
 void SpillSegmentWriter::close() {
   if (file_ == nullptr) return;
-  const bool ok = std::fflush(file_) == 0 && std::ferror(file_) == 0;
-  std::fclose(file_);
+  // flush() failures may be transient (retried); a failed close is final.
+  retry_io(retry_, [&] { file_->flush(); });
+  file_->close();
   file_ = nullptr;
-  if (!ok) throw std::runtime_error("spill: flush failed on segment " + path_);
 }
 
 SpillSegmentReader::SpillSegmentReader(std::string path, std::uint64_t offset,

@@ -24,6 +24,20 @@
 //
 // `Codec` maps T to/from support::Json (lossless — segment records and
 // checkpointed hot entries both go through it).
+//
+// Fault policy: every mutating file operation goes through the
+// support::vfs() seam. Transient failures are absorbed by bounded
+// deterministic retry inside the segment writer; a *persistent* write
+// failure (ENOSPC, EIO, read-only directory) does not kill the deque —
+// it **degrades** to in-memory mode: the elements that failed to spill
+// stay in the hot set, no further segments are written, and existing
+// segments keep draining normally. Degradation never changes the pop
+// sequence (the elements are the same, only their residence differs), so
+// certificates stay byte-identical; it is surfaced through `degraded()` /
+// `degradation()` for invocation-side observability only. If a
+// `degraded_capacity` is configured and the unspillable hot set outgrows
+// it, the deque fails the job with a structured VfsError instead of
+// exhausting memory.
 #pragma once
 
 #include <algorithm>
@@ -40,14 +54,17 @@
 
 #include "support/check.hpp"
 #include "support/json.hpp"
+#include "support/vfs.hpp"
 
 namespace aurv::support {
 
 /// Writes one sorted run of JSONL records to a fresh segment file
 /// (truncating any leftover of the same name from a pre-crash run).
+/// Transient write failures are retried after rewinding to the last
+/// record boundary; persistent ones propagate as VfsError.
 class SpillSegmentWriter {
  public:
-  explicit SpillSegmentWriter(std::string path);
+  explicit SpillSegmentWriter(std::string path, RetryPolicy retry = {});
   ~SpillSegmentWriter();
   SpillSegmentWriter(const SpillSegmentWriter&) = delete;
   SpillSegmentWriter& operator=(const SpillSegmentWriter&) = delete;
@@ -55,12 +72,14 @@ class SpillSegmentWriter {
   /// `line` is one record without the trailing newline.
   void append(const std::string& line);
   [[nodiscard]] std::uint64_t records() const noexcept { return records_; }
-  /// Flushes and closes; throws std::runtime_error if any write failed.
+  /// Flushes and closes; throws VfsError if any write failed.
   void close();
 
  private:
   std::string path_;
-  std::FILE* file_ = nullptr;
+  RetryPolicy retry_;
+  std::unique_ptr<VfsFile> file_;  ///< closed silently by the destructor
+  std::uint64_t bytes_ = 0;        ///< durable record-boundary offset
   std::uint64_t records_ = 0;
 };
 
@@ -113,6 +132,10 @@ class SpillDeque {
     /// segment into a single sorted run (bounds open file handles and the
     /// per-pop head scan). Must be >= 1.
     std::size_t max_segments = 8;
+    /// Hot-set bound while *degraded* (spill dir unwritable/full): exceed
+    /// it and the deque fails the job with a structured VfsError instead
+    /// of growing without limit. 0 = unbounded in-memory fallback.
+    std::size_t degraded_capacity = 0;
   };
 
   explicit SpillDeque(Config config = {}, Less less = {})
@@ -120,7 +143,15 @@ class SpillDeque {
     AURV_CHECK_MSG(config_.max_segments >= 1, "SpillDeque: max_segments must be >= 1");
     AURV_CHECK_MSG(config_.mem_capacity == 0 || !config_.spill_dir.empty(),
                    "SpillDeque: mem_capacity requires a spill_dir");
-    if (!config_.spill_dir.empty()) std::filesystem::create_directories(config_.spill_dir);
+    if (!config_.spill_dir.empty()) {
+      try {
+        vfs().create_directories(config_.spill_dir);
+      } catch (const VfsError& error) {
+        // An uncreatable spill dir degrades the deque from birth: it runs
+        // fully in memory (under degraded_capacity) instead of failing.
+        degrade(error.what());
+      }
+    }
   }
 
   [[nodiscard]] std::uint64_t size() const noexcept {
@@ -142,6 +173,12 @@ class SpillDeque {
     hot_high_water_ = std::max<std::uint64_t>(hot_high_water_, hot_.size());
     if (config_.mem_capacity > 0 && hot_.size() > config_.mem_capacity) spill_tail();
   }
+
+  /// True once a persistent spill-write failure demoted the deque to
+  /// in-memory mode (never part of any certificate).
+  [[nodiscard]] bool degraded() const noexcept { return degraded_; }
+  /// The first failure that caused the degradation ("" when healthy).
+  [[nodiscard]] const std::string& degradation() const noexcept { return degradation_; }
 
   /// The least (best) element across memory and disk; nullptr when empty.
   /// The pointer is valid until the next mutation.
@@ -216,10 +253,7 @@ class SpillDeque {
   /// durable (e.g. right after a base checkpoint write), so a crash in
   /// between never deletes a file an older checkpoint still needs.
   void prune_retired() {
-    for (const std::string& path : retired_) {
-      std::error_code ec;
-      std::filesystem::remove(path, ec);  // best-effort: a leftover is harmless
-    }
+    for (const std::string& path : retired_) vfs().remove(path);  // best-effort
     retired_.clear();
   }
 
@@ -254,12 +288,11 @@ class SpillDeque {
       dirs.insert(path.parent_path());
     }
     for (const std::filesystem::path& dir : dirs) {
-      for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
-        if (!is_segment_name(entry.path().filename().string())) continue;
-        if (keep.count(std::filesystem::weakly_canonical(entry.path(), ec)) == 0) {
-          std::error_code remove_ec;
-          std::filesystem::remove(entry.path(), remove_ec);  // best-effort
-        }
+      for (const std::string& name : vfs().list_dir(dir.string())) {
+        if (!is_segment_name(name)) continue;
+        const std::filesystem::path candidate = dir / name;
+        if (keep.count(std::filesystem::weakly_canonical(candidate, ec)) == 0)
+          vfs().remove(candidate.string());  // best-effort
       }
     }
   }
@@ -315,18 +348,53 @@ class SpillDeque {
     }
   }
 
+  /// Marks the deque degraded (first failure wins) — spilling stops,
+  /// elements stay hot, existing segments keep draining.
+  void degrade(const std::string& reason) {
+    if (!degraded_) degradation_ = reason;
+    degraded_ = true;
+  }
+
+  /// While degraded, an unspillable hot set may not outgrow the
+  /// configured bound — beyond it, fail the job with a structured error
+  /// rather than exhaust memory.
+  void enforce_degraded_cap() const {
+    if (config_.degraded_capacity == 0 || hot_.size() <= config_.degraded_capacity) return;
+    throw VfsError("spill", config_.spill_dir,
+                   "degraded frontier exceeds degraded_capacity=" +
+                       std::to_string(config_.degraded_capacity) + " (hot=" +
+                       std::to_string(hot_.size()) + "; first failure: " + degradation_ + ")",
+                   /*transient=*/false);
+  }
+
   /// Moves the worst half of the hot set, in sorted order, into a fresh
-  /// segment file.
+  /// segment file. A persistent write failure degrades the deque instead
+  /// of propagating: the unspilled elements simply stay hot (the pop
+  /// sequence — and thus every certificate — is unchanged).
   void spill_tail() {
+    if (degraded_) {
+      enforce_degraded_cap();
+      return;
+    }
     const std::size_t keep = config_.mem_capacity / 2;
     auto first_cold = hot_.begin();
     std::advance(first_cold, keep);
     const std::string path = segment_path(seq_++);
-    SpillSegmentWriter writer(path);
-    for (auto it = first_cold; it != hot_.end(); ++it)
-      writer.append(Codec::to_json(*it).dump());
-    writer.close();
-    const std::uint64_t count = writer.records();
+    std::uint64_t count = 0;
+    try {
+      SpillSegmentWriter writer(path);
+      for (auto it = first_cold; it != hot_.end(); ++it)
+        writer.append(Codec::to_json(*it).dump());
+      writer.close();
+      count = writer.records();
+    } catch (const VfsError& error) {
+      // Nothing was erased from hot_ yet, so the failed segment can be
+      // dropped wholesale and the elements served from memory.
+      vfs().remove(path);
+      degrade(error.what());
+      enforce_degraded_cap();
+      return;
+    }
     spilled_ += count;
     hot_.erase(first_cold, hot_.end());
     Segment segment{SpillSegmentReader(path, 0, count), std::nullopt};
@@ -338,17 +406,49 @@ class SpillDeque {
   /// K-way-merges every open segment into one sorted run. Raw record
   /// lines are copied as-is (no decode/re-encode), so a merged segment is
   /// byte-equivalent to the concatenation of its inputs in pop order.
+  /// Fault-safe: the merge reads through *scratch* readers opened at the
+  /// live segments' current offsets, so a failed merge write leaves the
+  /// live state untouched — the deque degrades (keeps serving from the
+  /// unmerged segments) instead of losing records.
   void merge_segments() {
     if (segments_.size() <= 1) return;
+    struct Scratch {
+      SpillSegmentReader reader;
+      T head;
+    };
+    std::vector<Scratch> scratch;
+    scratch.reserve(segments_.size());
+    for (const Segment& segment : segments_)
+      scratch.push_back(Scratch{SpillSegmentReader(segment.reader.path(),
+                                                   segment.reader.offset(),
+                                                   segment.reader.remaining()),
+                                *segment.head});
     const std::string path = segment_path(seq_++);
-    SpillSegmentWriter writer(path);
-    while (Segment* best = best_segment()) {
-      writer.append(best->reader.head());
-      advance_segment(*best);
+    std::uint64_t count = 0;
+    try {
+      SpillSegmentWriter writer(path);
+      std::size_t open = scratch.size();
+      while (open > 0) {
+        Scratch* best = nullptr;
+        for (Scratch& s : scratch)
+          if (!s.reader.done() && (best == nullptr || less_(s.head, best->head))) best = &s;
+        writer.append(best->reader.head());
+        best->reader.advance();
+        if (best->reader.done())
+          --open;
+        else
+          best->head = Codec::from_json(Json::parse(best->reader.head()));
+      }
+      writer.close();
+      count = writer.records();
+    } catch (const VfsError& error) {
+      vfs().remove(path);
+      degrade(error.what());
+      return;
     }
-    writer.close();
-    const std::uint64_t count = writer.records();
     AURV_CHECK_MSG(count > 0, "SpillDeque: merged zero records from nonempty segments");
+    for (Segment& segment : segments_) retired_.push_back(segment.reader.path());
+    segments_.clear();
     Segment merged{SpillSegmentReader(path, 0, count), std::nullopt};
     merged.head = Codec::from_json(Json::parse(merged.reader.head()));
     segments_.push_back(std::move(merged));
@@ -362,6 +462,8 @@ class SpillDeque {
   std::vector<std::string> retired_;      ///< files awaiting prune_retired()
   std::uint64_t spilled_ = 0;             ///< lifetime records written to disk
   std::uint64_t hot_high_water_ = 0;      ///< max elements resident at once
+  bool degraded_ = false;                 ///< spilling demoted to in-memory mode
+  std::string degradation_;               ///< first failure behind the demotion
 };
 
 }  // namespace aurv::support

@@ -1,0 +1,455 @@
+#include "support/vfs.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+namespace aurv::support {
+
+namespace fs = std::filesystem;
+
+VfsError::VfsError(std::string op, std::string path, std::string reason, bool transient)
+    : std::runtime_error("vfs: " + op + " " + path + ": " + reason),
+      op_(std::move(op)),
+      path_(std::move(path)),
+      reason_(std::move(reason)),
+      transient_(transient) {}
+
+void Vfs::sleep_for_ms(std::uint64_t ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+namespace {
+
+/// cstdio-backed writable file. EINTR is the one genuinely transient
+/// errno here; everything else (ENOSPC, EIO, EROFS...) is persistent
+/// until an operator intervenes, so it propagates non-transient and the
+/// caller's degradation policy decides.
+class RealFile final : public VfsFile {
+ public:
+  RealFile(std::string path, Vfs::OpenMode mode) : path_(std::move(path)) {
+    file_ = std::fopen(path_.c_str(), mode == Vfs::OpenMode::Append ? "ab" : "wb");
+    if (file_ == nullptr)
+      throw VfsError("open_write", path_, std::strerror(errno), errno == EINTR);
+  }
+  ~RealFile() override {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  void write(std::string_view data) override {
+    if (std::fwrite(data.data(), 1, data.size(), file_) != data.size())
+      throw VfsError("write", path_, std::strerror(errno), errno == EINTR);
+  }
+  void flush() override {
+    if (std::fflush(file_) != 0 || std::ferror(file_) != 0)
+      throw VfsError("flush", path_, std::strerror(errno), errno == EINTR);
+  }
+  void truncate_to(std::uint64_t size) override {
+    // Flush the stdio buffer first so the kernel-side truncate sees every
+    // byte, then rewind the stream position to the new end.
+    if (std::fflush(file_) != 0 ||
+        ::ftruncate(::fileno(file_), static_cast<off_t>(size)) != 0 ||
+        std::fseek(file_, 0, SEEK_END) != 0)
+      throw VfsError("truncate", path_, std::strerror(errno), errno == EINTR);
+  }
+  void close() override {
+    if (file_ == nullptr) return;
+    const bool flushed = std::fflush(file_) == 0 && std::ferror(file_) == 0;
+    const bool closed = std::fclose(file_) == 0;
+    file_ = nullptr;
+    if (!flushed || !closed)
+      throw VfsError("close", path_, "flush-on-close failed", false);
+  }
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+};
+
+class RealVfs final : public Vfs {
+ public:
+  std::unique_ptr<VfsFile> open_write(const std::string& path, OpenMode mode) override {
+    return std::make_unique<RealFile>(path, mode);
+  }
+  void rename(const std::string& from, const std::string& to) override {
+    std::error_code ec;
+    fs::rename(from, to, ec);
+    if (ec) throw VfsError("rename", from + " -> " + to, ec.message(), false);
+  }
+  bool remove(const std::string& path) override {
+    std::error_code ec;
+    return fs::remove(path, ec) && !ec;
+  }
+  void resize_file(const std::string& path, std::uint64_t size) override {
+    std::error_code ec;
+    fs::resize_file(path, size, ec);
+    if (ec) throw VfsError("resize", path, ec.message(), false);
+  }
+  void create_directories(const std::string& dir) override {
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec) throw VfsError("mkdir", dir, ec.message(), false);
+  }
+  bool exists(const std::string& path) override {
+    std::error_code ec;
+    return fs::exists(path, ec);
+  }
+  std::uint64_t file_size(const std::string& path) override {
+    std::error_code ec;
+    const std::uintmax_t size = fs::file_size(path, ec);
+    if (ec) throw VfsError("stat", path, ec.message(), false);
+    return size;
+  }
+  std::string read_file(const std::string& path) override {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw VfsError("read", path, "cannot open", false);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (in.bad()) throw VfsError("read", path, "read failed", false);
+    return buffer.str();
+  }
+  std::vector<std::string> list_dir(const std::string& dir) override {
+    std::vector<std::string> names;
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(dir, ec))
+      names.push_back(entry.path().filename().string());
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+};
+
+std::atomic<Vfs*>& current_vfs_slot() {
+  static RealVfs real;
+  static std::atomic<Vfs*> current{&real};
+  return current;
+}
+
+}  // namespace
+
+Vfs& real_vfs() {
+  static RealVfs real;
+  return real;
+}
+
+Vfs& vfs() { return *current_vfs_slot().load(std::memory_order_acquire); }
+
+ScopedVfs::ScopedVfs(Vfs& replacement)
+    : previous_(current_vfs_slot().exchange(&replacement, std::memory_order_acq_rel)) {}
+
+ScopedVfs::~ScopedVfs() { current_vfs_slot().store(previous_, std::memory_order_release); }
+
+// ------------------------------------------------------------------------
+// Fault schedule
+// ------------------------------------------------------------------------
+
+const char* to_string(FaultClass klass) {
+  switch (klass) {
+    case FaultClass::ShortWrite: return "short-write";
+    case FaultClass::NoSpace: return "enospc";
+    case FaultClass::FlushIo: return "eio-flush";
+    case FaultClass::RenameFail: return "rename-fail";
+    case FaultClass::CrashStop: return "crash-stop";
+  }
+  return "?";
+}
+
+FaultClass fault_class_from_string(const std::string& name) {
+  for (const FaultClass klass :
+       {FaultClass::ShortWrite, FaultClass::NoSpace, FaultClass::FlushIo,
+        FaultClass::RenameFail, FaultClass::CrashStop}) {
+    if (name == to_string(klass)) return klass;
+  }
+  throw JsonError("fault schedule: unknown fault class \"" + name + "\"");
+}
+
+Json FaultSpec::to_json() const {
+  Json json = Json::object();
+  json.set("after", Json(after));
+  json.set("path_contains", Json(path_contains));
+  json.set("class", Json(to_string(klass)));
+  json.set("sticky", Json(sticky));
+  return json;
+}
+
+FaultSpec FaultSpec::from_json(const Json& json) {
+  FaultSpec spec;
+  spec.after = json.at("after").as_uint();
+  spec.path_contains = json.string_or("path_contains", "");
+  spec.klass = fault_class_from_string(json.at("class").as_string());
+  spec.sticky = json.bool_or("sticky", false);
+  return spec;
+}
+
+Json FaultSchedule::to_json() const {
+  Json json = Json::object();
+  Json list = Json::array();
+  for (const FaultSpec& fault : faults) list.push_back(fault.to_json());
+  json.set("faults", std::move(list));
+  return json;
+}
+
+FaultSchedule FaultSchedule::from_json(const Json& json) {
+  FaultSchedule schedule;
+  for (const Json& entry : json.at("faults").as_array())
+    schedule.faults.push_back(FaultSpec::from_json(entry));
+  return schedule;
+}
+
+// ------------------------------------------------------------------------
+// FaultVfs
+// ------------------------------------------------------------------------
+
+// Not in an anonymous namespace: FaultVfs befriends this exact type so it
+// can reach the private on_op/crash hooks.
+/// Wraps an inner file: every operation is counted/injected by the owner.
+class FaultFile final : public VfsFile {
+ public:
+  FaultFile(FaultVfs& owner, std::string path, std::unique_ptr<VfsFile> inner)
+      : owner_(owner), path_(std::move(path)), inner_(std::move(inner)) {}
+
+  void write(std::string_view data) override;
+  void flush() override;
+  void truncate_to(std::uint64_t size) override;
+  void close() override;
+
+ private:
+  FaultVfs& owner_;
+  std::string path_;
+  std::unique_ptr<VfsFile> inner_;
+};
+
+FaultVfs::FaultVfs(FaultSchedule schedule, Vfs& inner)
+    : schedule_(std::move(schedule)), matched_(schedule_.faults.size(), 0), inner_(inner) {}
+
+FaultVfs::Decision FaultVfs::on_op(const char* op, const std::string& path) {
+  const std::scoped_lock lock(mutex_);
+  Decision decision;
+  if (crashed_) {
+    decision.suppress = true;
+    return decision;
+  }
+  decision.index = next_index_++;
+  log_.push_back(OpRecord{decision.index, op, path});
+  for (std::size_t k = 0; k < schedule_.faults.size(); ++k) {
+    const FaultSpec& fault = schedule_.faults[k];
+    if (!fault.path_contains.empty() && path.find(fault.path_contains) == std::string::npos)
+      continue;
+    const std::uint64_t seen = matched_[k]++;
+    if (seen == fault.after || (fault.sticky && seen > fault.after)) {
+      decision.fault = &fault;
+      return decision;  // first matching fault wins
+    }
+  }
+  return decision;
+}
+
+void FaultVfs::crash(const Decision& decision, const char* op, const std::string& path) {
+  {
+    const std::scoped_lock lock(mutex_);
+    crashed_ = true;
+  }
+  throw VfsCrashStop{decision.index, op, path};
+}
+
+std::uint64_t FaultVfs::ops() const {
+  const std::scoped_lock lock(mutex_);
+  return next_index_;
+}
+
+std::vector<FaultVfs::OpRecord> FaultVfs::op_log() const {
+  const std::scoped_lock lock(mutex_);
+  return log_;
+}
+
+std::uint64_t FaultVfs::backoff_recorded_ms() const {
+  const std::scoped_lock lock(mutex_);
+  return backoff_ms_;
+}
+
+bool FaultVfs::crashed() const {
+  const std::scoped_lock lock(mutex_);
+  return crashed_;
+}
+
+namespace {
+
+[[noreturn]] void throw_injected(const FaultSpec& fault, const char* op,
+                                 const std::string& path) {
+  const bool transient = !fault.sticky;
+  switch (fault.klass) {
+    case FaultClass::NoSpace:
+      throw VfsError(op, path, "no space left on device (injected ENOSPC)", transient);
+    case FaultClass::FlushIo:
+      throw VfsError(op, path, "input/output error (injected EIO)", transient);
+    case FaultClass::RenameFail:
+      throw VfsError(op, path, "rename failed (injected)", transient);
+    case FaultClass::ShortWrite:
+      throw VfsError(op, path, "short write (injected torn write)", transient);
+    case FaultClass::CrashStop:
+      break;  // handled by the caller, never reaches here
+  }
+  throw VfsError(op, path, "injected fault", transient);
+}
+
+}  // namespace
+
+void FaultFile::write(std::string_view data) {
+  const FaultVfs::Decision decision = owner_.on_op("write", path_);
+  if (decision.suppress) return;
+  if (decision.fault != nullptr) {
+    if (decision.fault->klass == FaultClass::ShortWrite) {
+      // The torn half reaches the disk before the error surfaces — the
+      // signature failure mode of a real kill mid-fwrite.
+      inner_->write(data.substr(0, data.size() / 2));
+      throw_injected(*decision.fault, "write", path_);
+    }
+    if (decision.fault->klass == FaultClass::CrashStop) {
+      inner_->write(data);
+      inner_->flush();  // "after operation K": K's bytes are on disk
+      owner_.crash(decision, "write", path_);
+    }
+    throw_injected(*decision.fault, "write", path_);
+  }
+  inner_->write(data);
+}
+
+void FaultFile::flush() {
+  const FaultVfs::Decision decision = owner_.on_op("flush", path_);
+  if (decision.suppress) return;
+  if (decision.fault != nullptr) {
+    if (decision.fault->klass == FaultClass::CrashStop) {
+      inner_->flush();
+      owner_.crash(decision, "flush", path_);
+    }
+    throw_injected(*decision.fault, "flush", path_);
+  }
+  inner_->flush();
+}
+
+void FaultFile::truncate_to(std::uint64_t size) {
+  const FaultVfs::Decision decision = owner_.on_op("truncate", path_);
+  if (decision.suppress) return;
+  if (decision.fault != nullptr) {
+    if (decision.fault->klass == FaultClass::CrashStop) {
+      inner_->truncate_to(size);
+      owner_.crash(decision, "truncate", path_);
+    }
+    throw_injected(*decision.fault, "truncate", path_);
+  }
+  inner_->truncate_to(size);
+}
+
+void FaultFile::close() {
+  const FaultVfs::Decision decision = owner_.on_op("close", path_);
+  if (decision.suppress) return;
+  if (decision.fault != nullptr) {
+    if (decision.fault->klass == FaultClass::CrashStop) {
+      inner_->close();
+      owner_.crash(decision, "close", path_);
+    }
+    throw_injected(*decision.fault, "close", path_);
+  }
+  inner_->close();
+}
+
+std::unique_ptr<VfsFile> FaultVfs::open_write(const std::string& path, OpenMode mode) {
+  const Decision decision = on_op("open_write", path);
+  if (decision.suppress) {
+    // A dead process opens nothing; hand back a sink that swallows
+    // everything so unwinding destructors stay silent.
+    struct DeadFile final : VfsFile {
+      void write(std::string_view) override {}
+      void flush() override {}
+      void truncate_to(std::uint64_t) override {}
+      void close() override {}
+    };
+    return std::make_unique<DeadFile>();
+  }
+  if (decision.fault != nullptr) {
+    if (decision.fault->klass == FaultClass::CrashStop) {
+      // The open itself completes (creating/truncating the file), then the
+      // process dies; the handle is dropped unused.
+      const auto created = inner_.open_write(path, mode);
+      (void)created;
+      crash(decision, "open_write", path);
+    }
+    throw_injected(*decision.fault, "open_write", path);
+  }
+  return std::make_unique<FaultFile>(*this, path, inner_.open_write(path, mode));
+}
+
+void FaultVfs::rename(const std::string& from, const std::string& to) {
+  const Decision decision = on_op("rename", from + " -> " + to);
+  if (decision.suppress) return;
+  if (decision.fault != nullptr) {
+    if (decision.fault->klass == FaultClass::CrashStop) {
+      inner_.rename(from, to);
+      crash(decision, "rename", from + " -> " + to);
+    }
+    throw_injected(*decision.fault, "rename", from + " -> " + to);
+  }
+  inner_.rename(from, to);
+}
+
+bool FaultVfs::remove(const std::string& path) {
+  const Decision decision = on_op("remove", path);
+  if (decision.suppress) return false;
+  if (decision.fault != nullptr) {
+    if (decision.fault->klass == FaultClass::CrashStop) {
+      const bool removed = inner_.remove(path);
+      (void)removed;
+      crash(decision, "remove", path);
+    }
+    return false;  // removal is best-effort: injected faults just fail it
+  }
+  return inner_.remove(path);
+}
+
+void FaultVfs::resize_file(const std::string& path, std::uint64_t size) {
+  const Decision decision = on_op("resize", path);
+  if (decision.suppress) return;
+  if (decision.fault != nullptr) {
+    if (decision.fault->klass == FaultClass::CrashStop) {
+      inner_.resize_file(path, size);
+      crash(decision, "resize", path);
+    }
+    throw_injected(*decision.fault, "resize", path);
+  }
+  inner_.resize_file(path, size);
+}
+
+void FaultVfs::create_directories(const std::string& dir) {
+  const Decision decision = on_op("mkdir", dir);
+  if (decision.suppress) return;
+  if (decision.fault != nullptr) {
+    if (decision.fault->klass == FaultClass::CrashStop) {
+      inner_.create_directories(dir);
+      crash(decision, "mkdir", dir);
+    }
+    throw_injected(*decision.fault, "mkdir", dir);
+  }
+  inner_.create_directories(dir);
+}
+
+bool FaultVfs::exists(const std::string& path) { return inner_.exists(path); }
+std::uint64_t FaultVfs::file_size(const std::string& path) { return inner_.file_size(path); }
+std::string FaultVfs::read_file(const std::string& path) { return inner_.read_file(path); }
+std::vector<std::string> FaultVfs::list_dir(const std::string& dir) {
+  return inner_.list_dir(dir);
+}
+
+void FaultVfs::sleep_for_ms(std::uint64_t ms) {
+  const std::scoped_lock lock(mutex_);
+  backoff_ms_ += ms;  // recorded, never slept: torture runs stay fast
+}
+
+}  // namespace aurv::support

@@ -13,6 +13,7 @@
 
 #include "test_paths.hpp"
 #include "support/spill.hpp"
+#include "support/vfs.hpp"
 
 namespace aurv::support {
 namespace {
@@ -216,6 +217,116 @@ TEST(SpillDeque, PruneRetiredDeletesOnlyDrainedFiles) {
   while (!deque.empty()) (void)deque.pop_best();
   deque.discard_files();
   EXPECT_EQ(file_count(), 0u);
+}
+
+// ------------------------------------------------- crash-stop recovery --
+
+TEST(SpillDeque, CrashAtEveryFileOperationRestoresTheCheckpointedSequence) {
+  // Kill the "process" (scripted crash-stop) after every single segment
+  // file operation of an insert-heavy run — including ops inside segment
+  // merges — then restore from the last in-memory checkpoint like a
+  // restarted process would: the reloaded deque must pop exactly the
+  // sequence an unbounded in-memory deque holding the checkpointed items
+  // would, with the crashed run's newer files swept as orphans.
+  const std::vector<Item> items = random_items(48, 21);
+
+  const auto expected_after = [&](std::size_t count) {
+    ItemDeque unbounded;
+    for (std::size_t k = 0; k < count; ++k) unbounded.insert(items[k]);
+    std::vector<Item> popped;
+    while (!unbounded.empty()) popped.push_back(unbounded.pop_best());
+    return popped;
+  };
+
+  std::size_t crashes = 0;
+  for (std::uint64_t crash_op = 0;; ++crash_op) {
+    ItemDeque::Config config;
+    config.spill_dir = fresh_dir("spill_crash_" + std::to_string(crash_op));
+    config.mem_capacity = 4;
+    config.max_segments = 2;  // several merges happen within 48 inserts
+
+    FaultSchedule schedule;
+    FaultSpec spec;
+    spec.after = crash_op;
+    spec.path_contains = "seg-";
+    spec.klass = FaultClass::CrashStop;
+    schedule.faults.push_back(spec);
+    FaultVfs faulty(schedule);
+
+    Json checkpoint;
+    std::size_t checkpointed = 0;
+    bool crashed = false;
+    {
+      ScopedVfs guard(faulty);
+      ItemDeque deque(config);
+      try {
+        for (std::size_t k = 0; k < items.size(); ++k) {
+          deque.insert(items[k]);
+          if ((k + 1) % 8 == 0) {  // the owner's checkpoint cadence
+            checkpoint = deque.state_to_json();
+            checkpointed = k + 1;
+          }
+        }
+      } catch (const VfsCrashStop&) {
+        crashed = true;
+        ++crashes;
+      }
+    }
+    if (!crashed) break;  // crash_op is past the run's op count: done
+    if (checkpointed == 0) continue;  // died before the first checkpoint
+
+    // "Restart": reload from the checkpoint through the real vfs.
+    ItemDeque restored = ItemDeque::from_json(checkpoint, config);
+    std::vector<Item> popped;
+    while (!restored.empty()) popped.push_back(restored.pop_best());
+    EXPECT_EQ(popped, expected_after(checkpointed)) << "crash after seg op " << crash_op;
+  }
+  EXPECT_GT(crashes, 50u) << "the sweep should cover spills AND merges";
+}
+
+TEST(SpillDeque, CrashDuringRetireLeavesARestorableState) {
+  // prune_retired() deletes the files a merge/drain stopped referencing; a
+  // crash after the first removal must leave a state the checkpoint still
+  // restores byte-for-byte (the un-removed leftovers are swept on resume).
+  const std::vector<Item> items = random_items(24, 17);
+  ItemDeque::Config config;
+  config.spill_dir = fresh_dir("spill_crash_retire");
+  config.mem_capacity = 4;
+  config.max_segments = 2;
+  ItemDeque deque(config);
+  for (const Item& item : items) deque.insert(item);
+
+  const auto file_count = [&] {
+    std::size_t count = 0;
+    for ([[maybe_unused]] const auto& entry :
+         std::filesystem::directory_iterator(config.spill_dir))
+      ++count;
+    return count;
+  };
+  ASSERT_GT(file_count(), deque.segment_count()) << "merges must have retired files";
+  const Json checkpoint = deque.state_to_json();
+
+  FaultSchedule schedule;
+  FaultSpec spec;
+  spec.after = 0;  // the first removal completes, then the process dies
+  spec.path_contains = "seg-";
+  spec.klass = FaultClass::CrashStop;
+  schedule.faults.push_back(spec);
+  FaultVfs faulty(schedule);
+  {
+    ScopedVfs guard(faulty);
+    EXPECT_THROW(deque.prune_retired(), VfsCrashStop);
+  }
+
+  ItemDeque restored = ItemDeque::from_json(checkpoint, config);
+  EXPECT_EQ(file_count(), restored.segment_count());  // leftovers swept on resume
+  ItemDeque unbounded;
+  for (const Item& item : items) unbounded.insert(item);
+  while (!unbounded.empty()) {
+    ASSERT_FALSE(restored.empty());
+    EXPECT_EQ(restored.pop_best(), unbounded.pop_best());
+  }
+  EXPECT_TRUE(restored.empty());
 }
 
 }  // namespace
