@@ -15,6 +15,10 @@
 //       --shard-size K       jobs per shard (default 256)
 //       --max-shards K       stop after K shards (incremental execution)
 //       --quiet              no progress on stderr
+//       --progress [SECS]    heartbeat: one JSON line on stderr every SECS
+//                            seconds (bare flag = 10; 0 = off)
+//       --metrics-out PATH   end-of-run metrics snapshot (counters, timers,
+//                            run manifest) as JSON
 //   aurv_sweep search <search.json> [options]
 //       --max-shards N       parallel box evaluations per wave (0 = hardware;
 //                            --threads is an alias); a worker cap, never a work
@@ -45,6 +49,10 @@
 //                            unbounded, default); past it the run fails
 //                            with a structured error
 //       --quiet              no progress on stderr
+//       --progress [SECS]    heartbeat: one JSON line on stderr every SECS
+//                            seconds (bare flag = 10; 0 = off)
+//       --metrics-out PATH   end-of-run metrics snapshot (counters, timers,
+//                            run manifest) as JSON
 //
 //       The spill/compaction flags are invocation-side: certificates,
 //       incumbent logs and prune stats are byte-identical in-memory vs.
@@ -58,9 +66,12 @@
 // --threads / --max-shards value, and identical whether the run completed
 // in one go or across checkpoint/resume cycles.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <string>
+#include <thread>
 
 #include "exp/registry.hpp"
 #include "exp/runner.hpp"
@@ -71,10 +82,75 @@
 #include "search/objective.hpp"
 #include "support/jsonl.hpp"
 #include "support/parse.hpp"
+#include "support/telemetry.hpp"
 
 namespace {
 
 using namespace aurv;
+namespace telemetry = support::telemetry;
+
+/// The telemetry invocation surface shared by `run` and `search`:
+/// `--progress[=secs]` turns on the heartbeat (one JSON line on stderr
+/// every N seconds; bare flag = 10 s, 0 = off), `--metrics-out PATH`
+/// writes the end-of-run metrics snapshot. Neither can change an
+/// artifact byte — heartbeats go to stderr, the snapshot to its own file.
+struct TelemetryCli {
+  double heartbeat_s = 0.0;
+  std::string metrics_out;
+
+  /// Handles one flag; `true` when it consumed the flag. `--progress`
+  /// takes an *optional* value: the next token is consumed only when it
+  /// does not look like another flag.
+  bool parse(const std::string& flag, int& k, int argc, char** argv) {
+    if (flag == "--metrics-out") {
+      if (k + 1 >= argc) throw std::invalid_argument("--metrics-out needs a value");
+      metrics_out = argv[++k];
+      return true;
+    }
+    if (flag == "--progress") {
+      heartbeat_s = 10.0;
+      if (k + 1 < argc && argv[k + 1][0] != '-')
+        heartbeat_s = support::parse_double(argv[++k], "--progress");
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::optional<telemetry::Heartbeat> start_heartbeat(
+      std::string kind, std::string spec) const {
+    if (heartbeat_s <= 0) return std::nullopt;
+    telemetry::HeartbeatConfig config;
+    config.interval_s = heartbeat_s;
+    config.extra = [kind = std::move(kind), spec = std::move(spec)] {
+      support::Json extra = support::Json::object();
+      extra.set("kind", support::Json(kind));
+      extra.set("spec", support::Json(spec));
+      return extra;
+    };
+    return std::optional<telemetry::Heartbeat>(std::in_place, std::move(config));
+  }
+
+  void write_metrics(const telemetry::RunManifest& manifest, double wall_ms,
+                     bool quiet) const {
+    if (metrics_out.empty()) return;
+    telemetry::write_metrics(metrics_out, manifest, wall_ms);
+    if (!quiet) std::fprintf(stderr, "metrics written to %s\n", metrics_out.c_str());
+  }
+};
+
+double wall_ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// The manifest records the *effective* worker count: 0 means "hardware"
+/// everywhere in the option structs, which would read as nonsense in a
+/// metrics snapshot.
+std::uint64_t resolved_threads(std::size_t requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
 
 int usage() {
   std::fprintf(stderr,
@@ -82,11 +158,12 @@ int usage() {
                "  aurv_sweep run <scenario.json> [--threads N] [--out PATH] [--jsonl PATH]\n"
                "             [--checkpoint PATH] [--checkpoint-every K] [--resume]\n"
                "             [--shard-size K] [--max-shards K] [--quiet]\n"
+               "             [--progress [SECS]] [--metrics-out PATH]\n"
                "  aurv_sweep search <search.json> [--max-shards N] [--out PATH]\n"
                "             [--incumbent-log PATH] [--checkpoint PATH] [--compact-every K]\n"
                "             [--resume] [--max-waves K] [--spill-dir PATH]\n"
                "             [--frontier-mem N] [--spill-segments N] [--degraded-cap N]\n"
-               "             [--quiet]\n"
+               "             [--quiet] [--progress [SECS]] [--metrics-out PATH]\n"
                "  aurv_sweep describe <spec.json>\n"
                "  aurv_sweep list\n");
   return 2;
@@ -156,8 +233,10 @@ int cmd_describe(const std::string& path) {
 
 int cmd_search(int argc, char** argv) {
   if (argc < 1) return usage();
+  const auto started = std::chrono::steady_clock::now();
   const std::string spec_path = argv[0];
   exp::SearchOptions options;
+  TelemetryCli telemetry_cli;
   std::string out_path;
   bool quiet = false;
 
@@ -189,13 +268,25 @@ int cmd_search(int argc, char** argv) {
     else if (flag == "--degraded-cap")
       options.frontier_degraded_capacity = support::parse_uint(value(), "--degraded-cap");
     else if (flag == "--quiet") quiet = true;
+    else if (telemetry_cli.parse(flag, k, argc, argv)) {}
     else {
       std::fprintf(stderr, "unknown option: %s\n", flag.c_str());
       return usage();
     }
   }
 
-  const exp::SearchSpec spec = exp::SearchSpec::load(spec_path);
+  telemetry::Timer& load_timer = telemetry::registry().timer("phase.load");
+  telemetry::Timer& run_timer = telemetry::registry().timer("phase.run");
+  telemetry::Timer& emit_timer = telemetry::registry().timer("phase.emit");
+
+  std::optional<exp::SearchSpec> loaded;
+  {
+    const telemetry::ScopedTimer time_load(load_timer);
+    loaded.emplace(exp::SearchSpec::load(spec_path));
+  }
+  const exp::SearchSpec& spec = *loaded;
+  std::optional<telemetry::Heartbeat> heartbeat =
+      telemetry_cli.start_heartbeat("search", spec_path);
   if (!quiet) {
     options.progress = [](std::uint64_t evaluated, std::uint64_t open) {
       std::fprintf(stderr, "\r%llu boxes evaluated, %llu open   ",
@@ -204,7 +295,13 @@ int cmd_search(int argc, char** argv) {
     };
   }
 
-  const exp::SearchRunResult result = exp::run_search(spec, options);
+  std::optional<exp::SearchRunResult> run;
+  {
+    const telemetry::ScopedTimer time_run(run_timer);
+    run.emplace(exp::run_search(spec, options));
+  }
+  const exp::SearchRunResult& result = *run;
+  if (heartbeat.has_value()) heartbeat->stop();
   if (!quiet) {
     std::fprintf(stderr, "\r%llu boxes evaluated (%s)          \n",
                  static_cast<unsigned long long>(result.bnb.stats.evaluated),
@@ -217,20 +314,38 @@ int cmd_search(int argc, char** argv) {
     std::fprintf(stderr, "warning: spill degraded to in-memory mode (%s)\n",
                  result.bnb.frontier_degradation.c_str());
 
-  const support::Json certificate = result.certificate(spec);
-  if (out_path.empty()) {
-    std::printf("%s", certificate.dump(2).c_str());
-  } else {
-    certificate.save_file(out_path);
-    if (!quiet) std::fprintf(stderr, "certificate written to %s\n", out_path.c_str());
+  {
+    const telemetry::ScopedTimer time_emit(emit_timer);
+    const support::Json certificate = result.certificate(spec);
+    if (out_path.empty()) {
+      std::printf("%s", certificate.dump(2).c_str());
+    } else {
+      certificate.save_file(out_path);
+      if (!quiet) std::fprintf(stderr, "certificate written to %s\n", out_path.c_str());
+    }
   }
+
+  telemetry::RunManifest manifest;
+  manifest.kind = "search";
+  manifest.spec_path = spec_path;
+  manifest.fingerprint = support::fingerprint_hex(spec.fingerprint());
+  manifest.threads = resolved_threads(options.max_shards);
+  manifest.extra.set("max_waves", support::Json(static_cast<std::uint64_t>(options.max_waves)));
+  manifest.extra.set("spill_dir", support::Json(options.spill_dir));
+  manifest.extra.set("frontier_mem",
+                     support::Json(static_cast<std::uint64_t>(options.frontier_mem)));
+  manifest.extra.set("resume", support::Json(options.resume));
+  telemetry_cli.write_metrics(manifest, wall_ms_since(started), quiet);
+
   return result.bnb.complete() ? 0 : 4;  // 4 = stopped early (max_waves)
 }
 
 int cmd_run(int argc, char** argv) {
   if (argc < 1) return usage();
+  const auto started = std::chrono::steady_clock::now();
   const std::string spec_path = argv[0];
   exp::CampaignOptions options;
+  TelemetryCli telemetry_cli;
   std::string out_path;
   bool quiet = false;
 
@@ -252,17 +367,25 @@ int cmd_run(int argc, char** argv) {
     else if (flag == "--max-shards")
       options.max_shards = support::parse_uint(value(), "--max-shards");
     else if (flag == "--quiet") quiet = true;
+    else if (telemetry_cli.parse(flag, k, argc, argv)) {}
     else {
       std::fprintf(stderr, "unknown option: %s\n", flag.c_str());
       return usage();
     }
   }
 
+  telemetry::Timer& load_timer = telemetry::registry().timer("phase.load");
+  telemetry::Timer& run_timer = telemetry::registry().timer("phase.run");
+  telemetry::Timer& emit_timer = telemetry::registry().timer("phase.emit");
+
   support::Json spec_json;
-  try {
-    spec_json = support::Json::load_file(spec_path);
-  } catch (const std::exception& error) {
-    throw std::invalid_argument(spec_path + ": " + error.what());
+  {
+    const telemetry::ScopedTimer time_load(load_timer);
+    try {
+      spec_json = support::Json::load_file(spec_path);
+    } catch (const std::exception& error) {
+      throw std::invalid_argument(spec_path + ": " + error.what());
+    }
   }
 
   if (!quiet) {
@@ -288,12 +411,26 @@ int cmd_run(int argc, char** argv) {
                  resumed_shards > 0 ? ", resumed" : "");
   };
   const auto emit = [&](const support::Json& summary) {
+    const telemetry::ScopedTimer time_emit(emit_timer);
     if (out_path.empty()) {
       std::printf("%s", summary.dump(2).c_str());
     } else {
       summary.save_file(out_path);
       if (!quiet) std::fprintf(stderr, "summary written to %s\n", out_path.c_str());
     }
+  };
+  const auto write_metrics = [&](const char* kind, std::uint64_t fingerprint) {
+    telemetry::RunManifest manifest;
+    manifest.kind = kind;
+    manifest.spec_path = spec_path;
+    manifest.fingerprint = support::fingerprint_hex(fingerprint);
+    manifest.threads = resolved_threads(options.threads);
+    manifest.extra.set("shard_size",
+                       support::Json(static_cast<std::uint64_t>(options.shard_size)));
+    manifest.extra.set("checkpoint_every",
+                       support::Json(static_cast<std::uint64_t>(options.checkpoint_every)));
+    manifest.extra.set("resume", support::Json(options.resume));
+    telemetry_cli.write_metrics(manifest, wall_ms_since(started), quiet);
   };
 
   if (spec_json.string_or("kind", "") == "gather-census") {
@@ -303,9 +440,18 @@ int cmd_run(int argc, char** argv) {
     } catch (const std::exception& error) {
       throw std::invalid_argument(spec_path + ": " + error.what());
     }
-    const gatherx::CensusResult result = gatherx::run_census(spec, options);
+    std::optional<telemetry::Heartbeat> heartbeat =
+        telemetry_cli.start_heartbeat("gather-census", spec_path);
+    std::optional<gatherx::CensusResult> run;
+    {
+      const telemetry::ScopedTimer time_run(run_timer);
+      run.emplace(gatherx::run_census(spec, options));
+    }
+    const gatherx::CensusResult& result = *run;
+    if (heartbeat.has_value()) heartbeat->stop();
     report(result.jobs, result.jobs_run, result.resumed_shards, result.complete);
     emit(result.summary(spec));
+    write_metrics("gather-census", spec.fingerprint());
     return result.complete ? 0 : 4;  // 4 = stopped early (max_shards)
   }
 
@@ -315,9 +461,18 @@ int cmd_run(int argc, char** argv) {
   } catch (const std::exception& error) {
     throw std::invalid_argument(spec_path + ": " + error.what());
   }
-  const exp::CampaignResult result = exp::run_campaign(spec, options);
+  std::optional<telemetry::Heartbeat> heartbeat =
+      telemetry_cli.start_heartbeat("campaign", spec_path);
+  std::optional<exp::CampaignResult> run;
+  {
+    const telemetry::ScopedTimer time_run(run_timer);
+    run.emplace(exp::run_campaign(spec, options));
+  }
+  const exp::CampaignResult& result = *run;
+  if (heartbeat.has_value()) heartbeat->stop();
   report(result.jobs, result.jobs_run, result.resumed_shards, result.complete);
   emit(result.summary(spec));
+  write_metrics("campaign", spec.fingerprint());
   return result.complete ? 0 : 4;  // 4 = stopped early (max_shards)
 }
 

@@ -86,13 +86,21 @@ int main(int argc, char** argv) {
       std::printf("%.9g\t%.6f\t%.6f\t%.6f\t%.6f\t%.6f\n", p.time, p.a.x, p.a.y, p.b.x, p.b.y,
                   p.distance);
     }
+    // Truncation notice on stderr so TSV consumers are untouched: a plot
+    // built from a silently clipped trace is a wrong plot.
+    if (result.trace.dropped() > 0)
+      std::fprintf(stderr, "warning: trace full, %llu points dropped (raise trace_capacity)\n",
+                   static_cast<unsigned long long>(result.trace.dropped()));
     return 0;
   }
 
   std::printf("instance: %s\n", instance.to_string().c_str());
-  std::printf("result  : met=%s at t=%.4f, distance %.4f, %llu events\n\n",
+  std::printf("result  : met=%s at t=%.4f, distance %.4f, %llu events\n",
               result.met ? "yes" : "no", result.meet_time, result.final_distance,
               static_cast<unsigned long long>(result.events));
+  std::printf("trace   : %zu points recorded, %llu dropped%s\n\n", result.trace.points().size(),
+              static_cast<unsigned long long>(result.trace.dropped()),
+              result.trace.dropped() > 0 ? " (raise trace_capacity for a faithful plot)" : "");
   ascii_render(result);
   return 0;
 }

@@ -29,6 +29,7 @@
 #include "support/check.hpp"
 #include "support/jsonl.hpp"
 #include "support/parallel.hpp"
+#include "support/telemetry.hpp"
 
 namespace aurv::exp {
 
@@ -130,6 +131,20 @@ template <typename Aggregate, typename RunJob>
   result.jobs = total_jobs;
   result.resumed_shards = state.completed_shards;
 
+  // Telemetry: jobs are tallied into a shard-local accumulator in `body`
+  // and folded into the registry by `complete`, which run_sharded calls
+  // strictly in shard order — so even the intermediate counter sequence
+  // is thread-count-invariant. Gauges track progress for the heartbeat.
+  namespace telemetry = support::telemetry;
+  telemetry::Counter& shards_counter = telemetry::registry().counter("runner.shards");
+  telemetry::Counter& checkpoints_counter = telemetry::registry().counter("runner.checkpoints");
+  telemetry::Gauge& jobs_done_gauge = telemetry::registry().gauge("runner.jobs_done");
+  telemetry::Gauge& jobs_total_gauge = telemetry::registry().gauge("runner.jobs_total");
+  telemetry::Timer& checkpoint_timer = telemetry::registry().timer("runner.checkpoint_write");
+  jobs_total_gauge.set(static_cast<std::int64_t>(total_jobs));
+  jobs_done_gauge.set(
+      static_cast<std::int64_t>(std::min(total_jobs, state.completed_shards * options.shard_size)));
+
   const std::uint64_t start_shard = state.completed_shards;
   std::uint64_t end_shard = total_shards;
   if (options.max_shards > 0)
@@ -140,6 +155,7 @@ template <typename Aggregate, typename RunJob>
   struct ShardOutput {
     Aggregate aggregate;
     std::string jsonl;
+    telemetry::ShardAccumulator metrics;
   };
   std::mutex stash_mutex;
   // Size bounded by the runner's max_in_flight window (set below), even
@@ -161,6 +177,7 @@ template <typename Aggregate, typename RunJob>
     for (std::uint64_t job = lo; job < hi; ++job) {
       run_job(job, output.aggregate, want_jsonl ? &output.jsonl : nullptr);
     }
+    output.metrics.add("runner.jobs", hi - lo);
     const std::scoped_lock lock(stash_mutex);
     stash.emplace(shard, std::move(output));
   };
@@ -176,13 +193,22 @@ template <typename Aggregate, typename RunJob>
       stash.erase(found);
     }
     state.aggregate.merge(output.aggregate);
+    telemetry::registry().merge(output.metrics);
+    shards_counter.add();
     jsonl.append(output.jsonl);
     state.completed_shards = shard + 1;
     state.jsonl_bytes = jsonl.bytes();
+    {
+      const auto [lo, hi] = job_range(shard);
+      (void)lo;
+      jobs_done_gauge.set(static_cast<std::int64_t>(hi));
+    }
     if (!options.checkpoint_path.empty() &&
         ((shard + 1) % options.checkpoint_every == 0 || shard + 1 == total_shards)) {
       jsonl.flush();
+      const telemetry::ScopedTimer time_checkpoint(checkpoint_timer);
       support::save_json_atomically(options.checkpoint_path, checkpoint_to_json(state));
+      checkpoints_counter.add();
     }
     if (options.progress) {
       const auto [lo, hi] = job_range(shard);
@@ -205,7 +231,9 @@ template <typename Aggregate, typename RunJob>
   result.complete = state.completed_shards == total_shards;
   if (!result.complete && !options.checkpoint_path.empty()) {
     jsonl.flush();
+    const telemetry::ScopedTimer time_checkpoint(checkpoint_timer);
     support::save_json_atomically(options.checkpoint_path, checkpoint_to_json(state));
+    checkpoints_counter.add();
   }
 
   result.aggregate = std::move(state.aggregate);

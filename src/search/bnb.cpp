@@ -15,6 +15,7 @@
 #include "support/jsonl.hpp"
 #include "support/parallel.hpp"
 #include "support/spill.hpp"
+#include "support/telemetry.hpp"
 
 namespace aurv::search {
 
@@ -311,6 +312,29 @@ BnbResult run_bnb(const ParamBox& root, const Objective& objective, const BnbLim
   AURV_CHECK_MSG(options.dim_names.empty() || options.dim_names.size() == root.dim_count(),
                  "dim_names must match the root box dimensions");
 
+  // Telemetry. Every bump below happens on the serialized side of the wave
+  // (assembly loop, in-order completion hook, post-wave bookkeeping), so
+  // the counter sequence — not just the totals — is shard-count-invariant.
+  // Certificate stats (state.stats) are tracked independently; telemetry
+  // is a read-only shadow that can never change an artifact byte.
+  namespace telemetry = support::telemetry;
+  telemetry::Registry& metrics = telemetry::registry();
+  telemetry::Counter& waves_counter = metrics.counter("search.waves");
+  telemetry::Counter& popped_counter = metrics.counter("search.popped");
+  telemetry::Counter& evaluated_counter = metrics.counter("search.evaluated");
+  telemetry::Counter& pruned_pop_counter = metrics.counter("search.pruned_pop");
+  telemetry::Counter& pruned_spawn_counter = metrics.counter("search.pruned_spawn");
+  telemetry::Counter& pruned_infeasible_counter = metrics.counter("search.pruned_infeasible");
+  telemetry::Counter& branched_counter = metrics.counter("search.branched");
+  telemetry::Counter& leaves_counter = metrics.counter("search.leaves");
+  telemetry::Counter& improvements_counter = metrics.counter("search.improvements");
+  telemetry::Gauge& frontier_open_gauge = metrics.gauge("search.frontier_open");
+  telemetry::Gauge& frontier_high_water_gauge = metrics.gauge("search.frontier_high_water");
+  telemetry::Gauge& frontier_spilled_gauge = metrics.gauge("search.frontier_spilled");
+  telemetry::Gauge& frontier_degraded_gauge = metrics.gauge("search.frontier_degraded");
+  telemetry::Timer& wave_timer = metrics.timer("search.wave");
+  telemetry::Timer& checkpoint_timer = metrics.timer("search.checkpoint");
+
   Frontier::Config frontier_config;
   frontier_config.spill_dir = options.spill_dir;
   frontier_config.mem_capacity = options.frontier_mem;
@@ -349,6 +373,7 @@ BnbResult run_bnb(const ParamBox& root, const Objective& objective, const BnbLim
     AURV_CHECK_MSG(!std::isnan(root_bound), "objective bound must not be NaN");
     if (root_bound == -kInf) {
       ++state.stats.pruned;  // the entire space is provably scoreless
+      pruned_infeasible_counter.add();
     } else {
       state.frontier.insert(OpenBox{root, root_bound});
       state.stats.max_frontier = 1;
@@ -389,8 +414,12 @@ BnbResult run_bnb(const ParamBox& root, const Objective& objective, const BnbLim
     log.flush();
     state.log_bytes = log.bytes();
     ++state.generation;
-    support::save_json_atomically(options.checkpoint_path,
-                                  checkpoint_to_json(state, root, objective, limits, options));
+    {
+      const telemetry::ScopedTimer time_checkpoint(checkpoint_timer);
+      support::save_json_atomically(options.checkpoint_path,
+                                    checkpoint_to_json(state, root, objective, limits, options));
+    }
+    metrics.counter("search.checkpoints").add();
     // The folded journal is closed and removed; the next generation's
     // file is only created when a wave actually appends to it (its
     // absence reads as "no records" on resume), so a terminal base — or
@@ -460,8 +489,10 @@ BnbResult run_bnb(const ParamBox& root, const Objective& objective, const BnbLim
     while (wave.size() < target && !state.frontier.empty()) {
       OpenBox open = state.frontier.pop_best();
       ++pending_popped;
+      popped_counter.add();
       if (prunable(open.bound)) {
         ++state.stats.pruned;
+        (open.bound == -kInf ? pruned_infeasible_counter : pruned_pop_counter).add();
         continue;
       }
       wave.push_back(std::move(open));
@@ -505,6 +536,7 @@ BnbResult run_bnb(const ParamBox& root, const Objective& objective, const BnbLim
     const auto complete = [&](std::size_t shard) {
       ShardOutput& out = outputs[shard];
       ++state.stats.evaluated;
+      evaluated_counter.add();
       if (!state.incumbent.found || out.evaluation.score > state.incumbent.score) {
         state.incumbent.found = true;
         state.incumbent.score = out.evaluation.score;
@@ -513,15 +545,19 @@ BnbResult run_bnb(const ParamBox& root, const Objective& objective, const BnbLim
         state.incumbent.evaluation = std::move(out.evaluation);
         state.incumbent.found_at_box = state.stats.evaluated;
         ++state.stats.improvements;
+        improvements_counter.add();
         log.append(improvement_record(state.incumbent, options.dim_names));
       }
       if (out.children.empty()) {
         ++state.stats.leaves;
+        leaves_counter.add();
       } else {
         ++state.stats.branched;
+        branched_counter.add();
         for (OpenBox& child : out.children) {
           if (prunable(child.bound)) {
             ++state.stats.pruned;
+            (child.bound == -kInf ? pruned_infeasible_counter : pruned_spawn_counter).add();
           } else {
             if (checkpointing) wave_children.push_back(child.to_json());
             state.frontier.insert(std::move(child));
@@ -534,10 +570,18 @@ BnbResult run_bnb(const ParamBox& root, const Objective& objective, const BnbLim
 
     support::ShardedRunOptions sharded;
     sharded.threads = options.max_shards;
-    support::run_sharded(wave.size(), body, complete, sharded);
+    {
+      const telemetry::ScopedTimer time_wave(wave_timer);
+      support::run_sharded(wave.size(), body, complete, sharded);
+    }
 
     ++state.stats.waves;
     ++waves_this_invocation;
+    waves_counter.add();
+    frontier_open_gauge.set(static_cast<std::int64_t>(state.frontier.size()));
+    frontier_high_water_gauge.set_max(static_cast<std::int64_t>(state.stats.max_frontier));
+    frontier_spilled_gauge.set(static_cast<std::int64_t>(state.frontier.spilled()));
+    frontier_degraded_gauge.set(state.frontier.degraded() ? 1 : 0);
 
     if (checkpointing) {
       // Delta checkpoint: flush the incumbent log (so its recorded offset

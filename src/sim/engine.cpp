@@ -7,6 +7,7 @@
 #include "geom/angle.hpp"
 #include "geom/closest_approach.hpp"
 #include "support/check.hpp"
+#include "support/telemetry.hpp"
 
 namespace aurv::sim {
 
@@ -127,8 +128,23 @@ SimResult Engine::run(const AlgorithmFactory& factory) const {
 }
 
 SimResult Engine::run(program::Program for_a, program::Program for_b) const {
+  namespace telemetry = support::telemetry;
+  static telemetry::Counter& runs_counter = telemetry::registry().counter("engine.runs");
+  static telemetry::Counter& events_counter = telemetry::registry().counter("engine.events");
+  static telemetry::Counter& instructions_counter =
+      telemetry::registry().counter("engine.instructions");
+  static telemetry::Counter& rendezvous_counter =
+      telemetry::registry().counter("engine.rendezvous");
+  static telemetry::Counter& window_solves_counter =
+      telemetry::registry().counter("engine.window_solves");
+  static telemetry::Counter& trace_dropped_counter =
+      telemetry::registry().counter("engine.trace_dropped");
+  static telemetry::Log2Histogram& events_histogram =
+      telemetry::registry().histogram("engine.events_per_run");
+
   AgentSim a(agents::AgentFrame::for_a(instance_), std::move(for_a));
   AgentSim b(agents::AgentFrame::for_b(instance_), std::move(for_b));
+  std::uint64_t window_solves = 0;
 
   const double radius_a = config_.r_a.value_or(instance_.r());
   const double radius_b = config_.r_b.value_or(instance_.r());
@@ -160,6 +176,15 @@ SimResult Engine::run(program::Program for_a, program::Program for_b) const {
     result.instructions_a = a.instructions;
     result.instructions_b = b.instructions;
     record(time);
+    // Telemetry only observes the finished run — it never feeds back into
+    // the result, so instrumented and plain runs produce identical bytes.
+    runs_counter.add();
+    events_counter.add(result.events);
+    instructions_counter.add(result.instructions_a + result.instructions_b);
+    window_solves_counter.add(window_solves);
+    if (result.met) rendezvous_counter.add();
+    if (result.trace.enabled()) trace_dropped_counter.add(result.trace.dropped());
+    events_histogram.record(result.events);
     return result;
   };
 
@@ -202,6 +227,7 @@ SimResult Engine::run(program::Program for_a, program::Program for_b) const {
     if (distinct_radii && !far_sighted->frozen) {
       // The larger radius is crossed first; the far-sighted agent freezes
       // there while the other keeps executing (Section 5 of the paper).
+      ++window_solves;
       if (const std::optional<double> hit =
               geom::first_contact(offset, relative_velocity, r_big, window)) {
         Rational freeze_time = now + Rational::from_double(*hit);
@@ -212,7 +238,7 @@ SimResult Engine::run(program::Program for_a, program::Program for_b) const {
         record(now);
         continue;
       }
-    } else if (const std::optional<double> hit =
+    } else if (++window_solves; const std::optional<double> hit =
                    geom::first_contact(offset, relative_velocity, r_success, window)) {
       Rational meet_time = now + Rational::from_double(*hit);
       if (meet_time > *window_end) meet_time = *window_end;  // round-off guard

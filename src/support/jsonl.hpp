@@ -143,7 +143,10 @@ class JsonlSink {
           // offset and is therefore still sound.
         }
         if (!error.transient() || attempt >= retry_.attempts) throw;
-        vfs().sleep_for_ms(retry_.backoff_ms << (attempt - 1));
+        const std::uint64_t backoff = retry_.backoff_ms << (attempt - 1);
+        telemetry::registry().counter("vfs.retries").add();
+        telemetry::registry().counter("vfs.backoff_ms").add(backoff);
+        vfs().sleep_for_ms(backoff);
       }
     }
   }

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "support/telemetry.hpp"
 #include "support/vfs.hpp"
 
 namespace aurv::support {
@@ -33,7 +34,10 @@ void SpillSegmentWriter::append(const std::string& line) {
         // partially-written segment is removed by the caller.
       }
       if (!error.transient() || attempt >= retry_.attempts) throw;
-      vfs().sleep_for_ms(retry_.backoff_ms << (attempt - 1));
+      const std::uint64_t backoff = retry_.backoff_ms << (attempt - 1);
+      telemetry::registry().counter("vfs.retries").add();
+      telemetry::registry().counter("vfs.backoff_ms").add(backoff);
+      vfs().sleep_for_ms(backoff);
     }
   }
 }
@@ -44,6 +48,15 @@ void SpillSegmentWriter::close() {
   retry_io(retry_, [&] { file_->flush(); });
   file_->close();
   file_ = nullptr;
+  // Tally only durably closed segments: a writer abandoned mid-fault is
+  // removed by its caller and never becomes a live segment.
+  namespace telemetry = support::telemetry;
+  static telemetry::Counter& segments_counter = telemetry::registry().counter("spill.segments");
+  static telemetry::Counter& records_counter = telemetry::registry().counter("spill.records");
+  static telemetry::Counter& bytes_counter = telemetry::registry().counter("spill.bytes");
+  segments_counter.add();
+  records_counter.add(records_);
+  bytes_counter.add(bytes_);
 }
 
 SpillSegmentReader::SpillSegmentReader(std::string path, std::uint64_t offset,

@@ -54,6 +54,7 @@
 
 #include "support/check.hpp"
 #include "support/json.hpp"
+#include "support/telemetry.hpp"
 #include "support/vfs.hpp"
 
 namespace aurv::support {
@@ -72,6 +73,7 @@ class SpillSegmentWriter {
   /// `line` is one record without the trailing newline.
   void append(const std::string& line);
   [[nodiscard]] std::uint64_t records() const noexcept { return records_; }
+  [[nodiscard]] std::uint64_t bytes() const noexcept { return bytes_; }
   /// Flushes and closes; throws VfsError if any write failed.
   void close();
 
@@ -351,7 +353,10 @@ class SpillDeque {
   /// Marks the deque degraded (first failure wins) — spilling stops,
   /// elements stay hot, existing segments keep draining.
   void degrade(const std::string& reason) {
-    if (!degraded_) degradation_ = reason;
+    if (!degraded_) {
+      degradation_ = reason;
+      telemetry::registry().counter("spill.degradations").add();
+    }
     degraded_ = true;
   }
 
@@ -447,6 +452,7 @@ class SpillDeque {
       return;
     }
     AURV_CHECK_MSG(count > 0, "SpillDeque: merged zero records from nonempty segments");
+    telemetry::registry().counter("spill.merges").add();
     for (Segment& segment : segments_) retired_.push_back(segment.reader.path());
     segments_.clear();
     Segment merged{SpillSegmentReader(path, 0, count), std::nullopt};

@@ -1,0 +1,314 @@
+// Run telemetry: process-wide named counters, gauges, log2 histograms and
+// scoped wall-clock timers, a clock-driven heartbeat reporter, and a
+// versioned end-of-run metrics snapshot.
+//
+// The hard invariant the whole layer is built around: telemetry NEVER
+// touches a deterministic artifact. Certificates, JSONL streams,
+// checkpoints and summaries are byte-identical with telemetry on, off, or
+// at any heartbeat interval; wall-clock values may only ever appear in
+// the metrics sink (`metrics_snapshot`) and on stderr (the heartbeat).
+// tests/telemetry_determinism_test.cpp enforces exactly that.
+//
+// Determinism of the numbers themselves:
+//   * counters/gauges/histograms hold integers updated with relaxed
+//     atomics — integer sums commute, so end-of-run totals are identical
+//     at any thread count;
+//   * per-shard work is accumulated in a thread-local ShardAccumulator
+//     (plain integers, no atomics on the hot path) and merged into the
+//     registry by the runner's *in-order* completion hook — the same
+//     shard-ordered merge discipline the aggregates use, so even the
+//     intermediate counter sequence is deterministic;
+//   * timers are wall-clock and therefore the one deliberately
+//     nondeterministic family; they are confined to the metrics sink.
+//
+// Metric objects are registered on first use and never deallocated, so a
+// `static auto& c = telemetry::registry().counter("x")` at a call site
+// pays the registry lock exactly once. `Registry::reset()` zeroes values
+// in place (references stay valid) — for tests and for drivers that run
+// several specs in one process.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "support/json.hpp"
+
+namespace aurv::support::telemetry {
+
+/// Monotonic event count. Totals are thread-count-invariant (relaxed
+/// integer adds commute).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written level (frontier depth, jobs total, degradation state).
+/// Writers must be serialized (e.g. the in-order completion hook) for the
+/// sequence of values to be deterministic; the final value then is too.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t n) noexcept { value_.fetch_add(n, std::memory_order_relaxed); }
+  /// Raises the gauge to `v` if above the current value (high-water marks).
+  void set_max(std::int64_t v) noexcept {
+    std::int64_t cur = value_.load(std::memory_order_relaxed);
+    while (cur < v && !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Power-of-two bucketed distribution of nonnegative integer samples
+/// (event counts, byte sizes). Bucket k holds samples in [2^(k-1), 2^k)
+/// — i.e. bucket index = std::bit_width(sample) — with bucket 0 reserved
+/// for zero. Integer counts: totals are thread-count-invariant.
+class Log2Histogram {
+ public:
+  void record(std::uint64_t sample) noexcept {
+    buckets_[std::bit_width(sample)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(sample, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bucket(int index) const noexcept {
+    return buckets_[static_cast<std::size_t>(index)].load(std::memory_order_relaxed);
+  }
+
+  /// {"count":n,"sum":s,"buckets":{"<lower bound>":count,...}} — only
+  /// nonzero buckets, keyed by the bucket's lower bound ("0", "1", "2",
+  /// "4", "8", ...), in increasing order.
+  [[nodiscard]] Json to_json() const;
+
+ private:
+  friend class Registry;
+  std::array<std::atomic<std::uint64_t>, 65> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Accumulated wall-clock time. The one nondeterministic metric family:
+/// values go to the metrics sink and stderr only, never into artifacts.
+class Timer {
+ public:
+  void add_ns(std::uint64_t ns) noexcept {
+    total_ns_.fetch_add(ns, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t total_ns() const noexcept {
+    return total_ns_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+  std::atomic<std::uint64_t> total_ns_{0};
+  std::atomic<std::uint64_t> count_{0};
+};
+
+/// RAII wall-clock span: adds the elapsed time to `timer` on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Timer& timer) noexcept
+      : timer_(&timer), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    timer_->add_ns(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()));
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Timer* timer_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Thread-local (well, shard-local) counter deltas: plain integers on the
+/// hot path, folded into the registry by the runner's in-order completion
+/// hook — so the merge sequence, like every aggregate merge, happens in
+/// deterministic shard order.
+class ShardAccumulator {
+ public:
+  void add(std::string_view name, std::uint64_t n = 1) {
+    for (auto& [key, value] : entries_) {
+      if (key == name) {
+        value += n;
+        return;
+      }
+    }
+    entries_.emplace_back(std::string(name), n);
+  }
+  [[nodiscard]] const std::vector<std::pair<std::string, std::uint64_t>>& entries()
+      const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+
+ private:
+  std::vector<std::pair<std::string, std::uint64_t>> entries_;  ///< first-touch order
+};
+
+/// The process-wide metric registry. Lookup registers on first use;
+/// objects live for the process lifetime, so cached references never
+/// dangle. Snapshots render every family with name-sorted keys.
+class Registry {
+ public:
+  [[nodiscard]] static Registry& instance();
+
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  [[nodiscard]] Log2Histogram& histogram(std::string_view name);
+  [[nodiscard]] Timer& timer(std::string_view name);
+
+  /// Folds a shard's local deltas into the registry counters, in the
+  /// accumulator's insertion order. Callers invoke this from an in-order
+  /// completion hook, which is what makes the merge sequence
+  /// deterministic; the call itself also counts into "telemetry.merges".
+  void merge(const ShardAccumulator& shard);
+
+  /// {"counters":{...},"gauges":{...},"histograms":{...},"timers":{...}}
+  /// — every family name-sorted; timers as {"ns":...,"count":...}.
+  [[nodiscard]] Json snapshot() const;
+
+  /// Counter values only (the heartbeat's rate baseline).
+  [[nodiscard]] std::map<std::string, std::uint64_t> counter_values() const;
+
+  /// Zeroes every value in place; registered objects (and references to
+  /// them) survive. For tests and multi-spec drivers.
+  void reset();
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Log2Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<Timer>> timers_;
+};
+
+/// Shorthand for Registry::instance().
+[[nodiscard]] inline Registry& registry() { return Registry::instance(); }
+
+// ------------------------------------------------------------------------
+// Heartbeat
+// ------------------------------------------------------------------------
+
+struct HeartbeatConfig {
+  /// Seconds between beats; <= 0 disables the reporter entirely (the
+  /// constructor then starts no thread).
+  double interval_s = 10.0;
+  /// One-line JSON per beat lands here (default stderr). Never a
+  /// deterministic artifact stream.
+  std::FILE* out = nullptr;
+  /// Optional extra fields merged into every beat line (e.g. the spec
+  /// name). Called on the heartbeat thread; must be thread-safe.
+  std::function<Json()> extra;
+};
+
+/// Clock-driven progress reporter: a background thread that every
+/// `interval_s` seconds writes one line of compact JSON to `out`:
+///
+///   {"heartbeat":k,"elapsed_s":...,"counters":{...},"gauges":{...},
+///    "rates":{"<counter>":per_second_since_last_beat,...}}
+///
+/// Purely observational: it reads the registry's atomics and writes to a
+/// FILE*, so it cannot perturb any artifact byte. Destruction (or stop())
+/// joins the thread; beat_now() emits one synchronous line (the final
+/// beat, and the unit tests' hook).
+class Heartbeat {
+ public:
+  explicit Heartbeat(HeartbeatConfig config);
+  ~Heartbeat();
+  Heartbeat(const Heartbeat&) = delete;
+  Heartbeat& operator=(const Heartbeat&) = delete;
+
+  void stop();
+  void beat_now();
+
+  [[nodiscard]] std::uint64_t beats() const noexcept {
+    return beats_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void run();
+  void emit();
+
+  HeartbeatConfig config_;
+  std::chrono::steady_clock::time_point start_;
+  std::map<std::string, std::uint64_t> last_counters_;  ///< rate baseline
+  std::chrono::steady_clock::time_point last_beat_;
+  std::atomic<std::uint64_t> beats_{0};
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::thread thread_;  ///< last member: joins before the rest tears down
+};
+
+// ------------------------------------------------------------------------
+// Metrics snapshot
+// ------------------------------------------------------------------------
+
+/// What identifies the run inside a metrics snapshot. All fields are
+/// stamped by the driver; `extra` is an open object for driver-specific
+/// shape (shard_size, wave counts, spill config, ...).
+struct RunManifest {
+  std::string kind;         ///< "campaign" | "gather-census" | "search" | ...
+  std::string spec_path;    ///< the spec file the run executed
+  std::string fingerprint;  ///< spec fingerprint, 16 hex digits ("" if n/a)
+  std::uint64_t threads = 0;  ///< worker cap the invocation asked for
+  Json extra = Json::object();
+};
+
+/// Compiler / standard / build-mode identification, for snapshot triage.
+[[nodiscard]] Json build_info();
+
+/// The versioned end-of-run snapshot (`schema` 1, `kind`
+/// "metrics-snapshot"): run manifest + build info + wall_ms + the full
+/// registry snapshot. THE one place wall-clock values are allowed besides
+/// stderr. `wall_ms` is measured from the registry-process start of this
+/// manifest's construction — pass the driver's own span for honesty.
+[[nodiscard]] Json metrics_snapshot(const RunManifest& manifest, double wall_ms);
+
+/// Writes `metrics_snapshot(...)` to `path` (pretty-printed, trailing
+/// newline). Deliberately NOT routed through the support::vfs() seam: the
+/// metrics sink is diagnostics, not a durable artifact, so it must not
+/// enlarge the fault-injection site enumeration the torture matrix
+/// replays against.
+void write_metrics(const std::string& path, const RunManifest& manifest, double wall_ms);
+
+}  // namespace aurv::support::telemetry

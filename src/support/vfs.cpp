@@ -30,6 +30,26 @@ void Vfs::sleep_for_ms(std::uint64_t ms) {
 
 namespace {
 
+/// Telemetry shadows of the real-backend operations (counted at the
+/// RealFile/RealVfs layer, so FaultVfs-wrapped runs tally the bytes that
+/// actually reached the inner backend).
+telemetry::Counter& vfs_opens_counter() {
+  static telemetry::Counter& c = telemetry::registry().counter("vfs.opens");
+  return c;
+}
+telemetry::Counter& vfs_writes_counter() {
+  static telemetry::Counter& c = telemetry::registry().counter("vfs.writes");
+  return c;
+}
+telemetry::Counter& vfs_bytes_counter() {
+  static telemetry::Counter& c = telemetry::registry().counter("vfs.bytes_written");
+  return c;
+}
+telemetry::Counter& vfs_renames_counter() {
+  static telemetry::Counter& c = telemetry::registry().counter("vfs.renames");
+  return c;
+}
+
 /// cstdio-backed writable file. EINTR is the one genuinely transient
 /// errno here; everything else (ENOSPC, EIO, EROFS...) is persistent
 /// until an operator intervenes, so it propagates non-transient and the
@@ -40,6 +60,7 @@ class RealFile final : public VfsFile {
     file_ = std::fopen(path_.c_str(), mode == Vfs::OpenMode::Append ? "ab" : "wb");
     if (file_ == nullptr)
       throw VfsError("open_write", path_, std::strerror(errno), errno == EINTR);
+    vfs_opens_counter().add();
   }
   ~RealFile() override {
     if (file_ != nullptr) std::fclose(file_);
@@ -48,6 +69,8 @@ class RealFile final : public VfsFile {
   void write(std::string_view data) override {
     if (std::fwrite(data.data(), 1, data.size(), file_) != data.size())
       throw VfsError("write", path_, std::strerror(errno), errno == EINTR);
+    vfs_writes_counter().add();
+    vfs_bytes_counter().add(data.size());
   }
   void flush() override {
     if (std::fflush(file_) != 0 || std::ferror(file_) != 0)
@@ -84,6 +107,7 @@ class RealVfs final : public Vfs {
     std::error_code ec;
     fs::rename(from, to, ec);
     if (ec) throw VfsError("rename", from + " -> " + to, ec.message(), false);
+    vfs_renames_counter().add();
   }
   bool remove(const std::string& path) override {
     std::error_code ec;
@@ -284,6 +308,7 @@ namespace {
 
 [[noreturn]] void throw_injected(const FaultSpec& fault, const char* op,
                                  const std::string& path) {
+  telemetry::registry().counter("vfs.faults_injected").add();
   const bool transient = !fault.sticky;
   switch (fault.klass) {
     case FaultClass::NoSpace:

@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "support/json.hpp"
+#include "support/telemetry.hpp"
 
 namespace aurv::support {
 
@@ -159,7 +160,10 @@ auto retry_io(const RetryPolicy& policy, Fn&& fn) -> decltype(fn()) {
       return fn();
     } catch (const VfsError& error) {
       if (!error.transient() || attempt >= policy.attempts) throw;
-      vfs().sleep_for_ms(policy.backoff_ms << (attempt - 1));
+      const std::uint64_t backoff = policy.backoff_ms << (attempt - 1);
+      telemetry::registry().counter("vfs.retries").add();
+      telemetry::registry().counter("vfs.backoff_ms").add(backoff);
+      vfs().sleep_for_ms(backoff);
     }
   }
 }

@@ -1,0 +1,200 @@
+// The telemetry layer's hard invariant, enforced end to end: every
+// deterministic artifact (search certificates, incumbent logs, campaign
+// JSONL streams and summaries) is byte-identical with telemetry observers
+// on, off, or at any heartbeat interval, and at any worker count — only
+// the metrics sink and stderr may carry wall-clock values. Also checks
+// that real runs actually populate the counters the snapshot schema
+// promises (nonzero engine.* / search.* / runner.*).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "test_paths.hpp"
+#include "exp/runner.hpp"
+#include "exp/scenario.hpp"
+#include "exp/search_driver.hpp"
+#include "support/telemetry.hpp"
+
+namespace aurv {
+namespace {
+
+namespace telemetry = support::telemetry;
+using exp::SearchOptions;
+using exp::SearchSpec;
+using numeric::Rational;
+using support::Json;
+using testpaths::fresh_dir;
+using testpaths::slurp;
+using testpaths::temp_path;
+
+/// The same fast tuple-space spec the spill/bnb determinism tests use:
+/// 48 boxes in waves of 8 — several waves, several incumbents.
+SearchSpec search_spec() {
+  SearchSpec spec;
+  spec.name = "test_telemetry_search";
+  spec.algorithm = "aurv";
+  spec.objective = "max-meet-time";
+  spec.space.family = search::SearchSpace::Family::Tuple;
+  spec.space.chi = -1;
+  spec.space.fixed = {{"r", Rational(1)},
+                      {"y", Rational(numeric::BigInt(6), numeric::BigInt(5))},
+                      {"phi", Rational(0)}};
+  spec.space.dim_names = {"x", "t"};
+  spec.box = {search::Interval{Rational(numeric::BigInt(3), numeric::BigInt(2)),
+                               Rational(numeric::BigInt(7), numeric::BigInt(2))},
+              search::Interval{Rational(0), Rational(3)}};
+  spec.limits.max_boxes = 48;
+  spec.limits.wave_size = 8;
+  spec.limits.min_width = Rational(numeric::BigInt(1), numeric::BigInt(64));
+  spec.engine.max_events = 2'000'000;
+  spec.engine.horizon = Rational(256);
+  return spec;
+}
+
+exp::ScenarioSpec campaign_spec() {
+  exp::ScenarioSpec spec;
+  spec.name = "test_telemetry_campaign";
+  spec.algorithm = "aurv";
+  spec.seed = 7;
+  spec.sampler = "type2";
+  spec.count = 60;
+  spec.engine.max_events = 2'000'000;
+  return spec;
+}
+
+/// A discarding heartbeat sink: observation pressure without terminal spam.
+class NullSink {
+ public:
+  NullSink() : file_(std::fopen(testpaths::temp_path("telemetry_null.jsonl").c_str(), "wb")) {}
+  ~NullSink() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+  [[nodiscard]] std::FILE* get() const { return file_; }
+
+ private:
+  std::FILE* file_;
+};
+
+// --------------------------------------------------- search byte-identity --
+
+TEST(TelemetryDeterminism, SearchArtifactsIdenticalUnderObservation) {
+  const SearchSpec spec = search_spec();
+
+  // Baseline: telemetry idle (registry exists but no heartbeat), 1 shard.
+  telemetry::registry().reset();
+  SearchOptions plain;
+  plain.max_shards = 1;
+  plain.incumbent_log_path = temp_path("telemetry_plain.jsonl");
+  const exp::SearchRunResult baseline = exp::run_search(spec, plain);
+  const std::string baseline_certificate = baseline.certificate(spec).dump(2);
+  const std::string baseline_log = slurp(plain.incumbent_log_path);
+
+  // Observed: 4 shards, an aggressive heartbeat hammering the registry
+  // mid-run, spill enabled, and a metrics snapshot written at the end.
+  telemetry::registry().reset();
+  SearchOptions observed;
+  observed.max_shards = 4;
+  observed.incumbent_log_path = temp_path("telemetry_observed.jsonl");
+  observed.spill_dir = fresh_dir("telemetry_spill");
+  observed.frontier_mem = 2;
+  NullSink sink;
+  ASSERT_NE(sink.get(), nullptr);
+  {
+    telemetry::HeartbeatConfig config;
+    config.interval_s = 0.001;  // far faster than production: maximum interference
+    config.out = sink.get();
+    telemetry::Heartbeat heartbeat(std::move(config));
+    const exp::SearchRunResult result = exp::run_search(spec, observed);
+    heartbeat.stop();
+    EXPECT_EQ(result.certificate(spec).dump(2), baseline_certificate);
+  }
+  EXPECT_EQ(slurp(observed.incumbent_log_path), baseline_log);
+
+  // The run populated the counter families the snapshot schema promises.
+  const auto counters = telemetry::registry().counter_values();
+  const auto nonzero = [&](const char* name) {
+    const auto it = counters.find(name);
+    return it != counters.end() && it->second > 0;
+  };
+  EXPECT_TRUE(nonzero("engine.runs"));
+  EXPECT_TRUE(nonzero("engine.events"));
+  EXPECT_TRUE(nonzero("search.waves"));
+  EXPECT_TRUE(nonzero("search.evaluated"));
+  EXPECT_TRUE(nonzero("search.improvements"));
+  EXPECT_TRUE(nonzero("spill.segments")) << "frontier_mem=2 must spill";
+
+  // And the snapshot of this run validates structurally.
+  telemetry::RunManifest manifest;
+  manifest.kind = "search";
+  manifest.spec_path = "inline";
+  manifest.fingerprint = "0";
+  manifest.threads = 4;
+  const Json snapshot = telemetry::metrics_snapshot(manifest, 1.0);
+  EXPECT_EQ(snapshot.at("schema").as_uint(), 1u);
+  EXPECT_GT(snapshot.at("counters").at("engine.runs").as_uint(), 0u);
+}
+
+TEST(TelemetryDeterminism, SearchCountersAreThreadCountInvariant) {
+  const SearchSpec spec = search_spec();
+
+  telemetry::registry().reset();
+  SearchOptions serial;
+  serial.max_shards = 1;
+  (void)exp::run_search(spec, serial);
+  const auto counters_serial = telemetry::registry().counter_values();
+
+  telemetry::registry().reset();
+  SearchOptions parallel;
+  parallel.max_shards = 4;
+  (void)exp::run_search(spec, parallel);
+  const auto counters_parallel = telemetry::registry().counter_values();
+
+  EXPECT_EQ(counters_serial, counters_parallel)
+      << "counter totals are part of the determinism contract";
+}
+
+// -------------------------------------------------- campaign byte-identity --
+
+TEST(TelemetryDeterminism, CampaignArtifactsIdenticalUnderObservation) {
+  const exp::ScenarioSpec spec = campaign_spec();
+
+  telemetry::registry().reset();
+  exp::CampaignOptions plain;
+  plain.threads = 1;
+  plain.shard_size = 16;
+  plain.jsonl_path = temp_path("telemetry_campaign_plain.jsonl");
+  const exp::CampaignResult baseline = exp::run_campaign(spec, plain);
+  const std::string baseline_summary = baseline.summary(spec).dump(2);
+  const std::string baseline_jsonl = slurp(plain.jsonl_path);
+
+  telemetry::registry().reset();
+  exp::CampaignOptions observed;
+  observed.threads = 4;
+  observed.shard_size = 16;
+  observed.jsonl_path = temp_path("telemetry_campaign_observed.jsonl");
+  observed.checkpoint_path = temp_path("telemetry_campaign_ckpt.json");
+  observed.checkpoint_every = 1;
+  NullSink sink;
+  ASSERT_NE(sink.get(), nullptr);
+  {
+    telemetry::HeartbeatConfig config;
+    config.interval_s = 0.001;
+    config.out = sink.get();
+    telemetry::Heartbeat heartbeat(std::move(config));
+    const exp::CampaignResult result = exp::run_campaign(spec, observed);
+    heartbeat.stop();
+    EXPECT_EQ(result.summary(spec).dump(2), baseline_summary);
+  }
+  EXPECT_EQ(slurp(observed.jsonl_path), baseline_jsonl);
+
+  const auto counters = telemetry::registry().counter_values();
+  EXPECT_EQ(counters.at("runner.jobs"), 60u);
+  EXPECT_EQ(counters.at("runner.shards"), 4u);  // 60 jobs / shard_size 16
+  EXPECT_GT(counters.at("runner.checkpoints"), 0u);
+  EXPECT_GT(counters.at("engine.runs"), 0u);
+  EXPECT_GT(counters.at("telemetry.merges"), 0u);
+}
+
+}  // namespace
+}  // namespace aurv
