@@ -5,7 +5,9 @@
 //   aurv_cli classify  r x y phi tau v t chi
 //   aurv_cli run       r x y phi tau v t chi [algorithm] [max_events]
 //   aurv_cli adversary s1|s2 [algorithm]
-//   aurv_cli sweep     scenario.json [threads]
+//   aurv_cli sweep     scenario.json [threads] [--threads N] [--quiet]
+//                      [--progress [SECS]] [--metrics-out PATH]
+//                      [--trace-out PATH]
 //
 //   algorithms: aurv (default) | latecomers | cgkk | cgkk-ext |
 //               wait-and-search | boundary | recommended
@@ -20,21 +22,28 @@
 //   aurv_cli sweep scenarios/smoke_type2.json  # campaign, summary on stdout
 //
 // `sweep` is a thin alias for `aurv_sweep run` (which has the full option
-// set: JSONL records, checkpoints, resume).
+// set: JSONL records, checkpoints, resume) sharing its observability
+// surface: `--progress` heartbeats, `--metrics-out` snapshots and
+// `--trace-out` Chrome-trace spans.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <string>
 
 #include "algo/boundary.hpp"
 #include "core/adversary.hpp"
 #include "core/feasibility.hpp"
+#include "driver_telemetry.hpp"
 #include "exp/registry.hpp"
 #include "exp/runner.hpp"
 #include "exp/scenario.hpp"
 #include "gatherx/census.hpp"
 #include "gatherx/scenario.hpp"
 #include "sim/engine.hpp"
+#include "support/jsonl.hpp"
 #include "support/parse.hpp"
+#include "support/telemetry.hpp"
 
 namespace {
 
@@ -46,7 +55,8 @@ int usage(const char* argv0) {
                "  %s classify  r x y phi tau v t chi\n"
                "  %s run       r x y phi tau v t chi [algorithm] [max_events]\n"
                "  %s adversary s1|s2 [algorithm]\n"
-               "  %s sweep     scenario.json [threads]\n"
+               "  %s sweep     scenario.json [threads] [--threads N] [--quiet]\n"
+               "               [--progress [SECS]] [--metrics-out PATH] [--trace-out PATH]\n"
                "algorithms: aurv | latecomers | cgkk | cgkk-ext | wait-and-search |"
                " boundary | recommended\n",
                argv0, argv0, argv0, argv0);
@@ -141,26 +151,82 @@ int cmd_adversary(int argc, char** argv) {
 }
 
 int cmd_sweep(int argc, char** argv) {
-  if (argc < 1 || argc > 2) return usage("aurv_cli");
+  if (argc < 1) return usage("aurv_cli");
+  namespace telemetry = support::telemetry;
+  const auto started = std::chrono::steady_clock::now();
+  const std::string spec_path = argv[0];
   exp::CampaignOptions options;
-  if (argc == 2) options.threads = support::parse_uint(argv[1], "threads");
+  driver::TelemetryCli telemetry_cli;
+  bool quiet = false;
+
+  for (int k = 1; k < argc; ++k) {
+    const std::string flag = argv[k];
+    if (flag == "--threads") {
+      if (k + 1 >= argc) throw std::invalid_argument("--threads needs a value");
+      options.threads = support::parse_uint(argv[++k], "--threads");
+    } else if (flag == "--quiet") {
+      quiet = true;
+    } else if (telemetry_cli.parse(flag, k, argc, argv)) {
+    } else if (k == 1 && flag[0] != '-') {
+      // Pre-flag spelling: a bare thread count right after the scenario.
+      options.threads = support::parse_uint(argv[k], "threads");
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", flag.c_str());
+      return usage("aurv_cli");
+    }
+  }
+
+  telemetry_cli.open_trace();
+
   // Same kind dispatch as aurv_sweep run: a gather-census spec drives the
   // gathering census runner, anything else the two-agent campaign runner.
   // One load + parse; path context is added to either kind's parse error.
   try {
-    const support::Json spec_json = support::Json::load_file(argv[0]);
+    const auto finish = [&](const char* kind, std::uint64_t fingerprint) {
+      telemetry_cli.close_trace(quiet);
+      telemetry::RunManifest manifest;
+      manifest.kind = kind;
+      manifest.spec_path = spec_path;
+      manifest.fingerprint = support::fingerprint_hex(fingerprint);
+      manifest.threads = driver::resolved_threads(options.threads);
+      telemetry_cli.write_metrics(manifest, driver::wall_ms_since(started), quiet);
+    };
+    support::Json spec_json;
+    {
+      const support::trace::Span span("load", "phase",
+                                      support::trace::Span::Options{.announce = true});
+      spec_json = support::Json::load_file(spec_path);
+    }
     if (spec_json.string_or("kind", "") == "gather-census") {
       const gatherx::GatherScenarioSpec spec = gatherx::GatherScenarioSpec::from_json(spec_json);
-      const gatherx::CensusResult result = gatherx::run_census(spec, options);
-      std::printf("%s", result.summary(spec).dump(2).c_str());
+      std::optional<telemetry::Heartbeat> heartbeat =
+          telemetry_cli.start_heartbeat("gather-census", spec_path);
+      std::optional<gatherx::CensusResult> run;
+      {
+        const support::trace::Span span("run", "phase",
+                                        support::trace::Span::Options{.announce = true});
+        run.emplace(gatherx::run_census(spec, options));
+      }
+      if (heartbeat.has_value()) heartbeat->stop();
+      std::printf("%s", run->summary(spec).dump(2).c_str());
+      finish("gather-census", spec.fingerprint());
       return 0;
     }
     const exp::ScenarioSpec spec = exp::ScenarioSpec::from_json(spec_json);
-    const exp::CampaignResult result = exp::run_campaign(spec, options);
-    std::printf("%s", result.summary(spec).dump(2).c_str());
+    std::optional<telemetry::Heartbeat> heartbeat =
+        telemetry_cli.start_heartbeat("campaign", spec_path);
+    std::optional<exp::CampaignResult> run;
+    {
+      const support::trace::Span span("run", "phase",
+                                      support::trace::Span::Options{.announce = true});
+      run.emplace(exp::run_campaign(spec, options));
+    }
+    if (heartbeat.has_value()) heartbeat->stop();
+    std::printf("%s", run->summary(spec).dump(2).c_str());
+    finish("campaign", spec.fingerprint());
     return 0;
   } catch (const std::invalid_argument& error) {
-    throw std::invalid_argument(std::string(argv[0]) + ": " + error.what());
+    throw std::invalid_argument(spec_path + ": " + error.what());
   }
 }
 

@@ -16,9 +16,12 @@
 //       --max-shards K       stop after K shards (incremental execution)
 //       --quiet              no progress on stderr
 //       --progress [SECS]    heartbeat: one JSON line on stderr every SECS
-//                            seconds (bare flag = 10; 0 = off)
+//                            seconds (bare flag = 10; 0 = off); each line
+//                            names the active phase/span
 //       --metrics-out PATH   end-of-run metrics snapshot (counters, timers,
 //                            run manifest) as JSON
+//       --trace-out PATH     structured span trace in Chrome Trace Event
+//                            Format (open in Perfetto / chrome://tracing)
 //   aurv_sweep search <search.json> [options]
 //       --max-shards N       parallel box evaluations per wave (0 = hardware;
 //                            --threads is an alias); a worker cap, never a work
@@ -26,6 +29,10 @@
 //                            with --max-waves)
 //       --out PATH           certificate JSON artifact (default: stdout)
 //       --incumbent-log PATH incumbent-improvement JSONL, deterministic order
+//       --provenance PATH    prune-provenance JSONL: one auditable decision
+//                            record per popped box (byte-identical at any
+//                            worker count and across resume); audit it with
+//                            scripts/provenance_report.py
 //       --checkpoint PATH    base checkpoint + per-wave delta journal
 //                            (enables --resume)
 //       --compact-every K    compact the wave journal into a fresh base
@@ -50,9 +57,12 @@
 //                            with a structured error
 //       --quiet              no progress on stderr
 //       --progress [SECS]    heartbeat: one JSON line on stderr every SECS
-//                            seconds (bare flag = 10; 0 = off)
+//                            seconds (bare flag = 10; 0 = off); each line
+//                            names the active phase/span
 //       --metrics-out PATH   end-of-run metrics snapshot (counters, timers,
 //                            run manifest) as JSON
+//       --trace-out PATH     structured span trace in Chrome Trace Event
+//                            Format (open in Perfetto / chrome://tracing)
 //
 //       The spill/compaction flags are invocation-side: certificates,
 //       incumbent logs and prune stats are byte-identical in-memory vs.
@@ -73,6 +83,7 @@
 #include <string>
 #include <thread>
 
+#include "driver_telemetry.hpp"
 #include "exp/registry.hpp"
 #include "exp/runner.hpp"
 #include "exp/scenario.hpp"
@@ -83,74 +94,15 @@
 #include "support/jsonl.hpp"
 #include "support/parse.hpp"
 #include "support/telemetry.hpp"
+#include "support/trace.hpp"
 
 namespace {
 
 using namespace aurv;
 namespace telemetry = support::telemetry;
-
-/// The telemetry invocation surface shared by `run` and `search`:
-/// `--progress[=secs]` turns on the heartbeat (one JSON line on stderr
-/// every N seconds; bare flag = 10 s, 0 = off), `--metrics-out PATH`
-/// writes the end-of-run metrics snapshot. Neither can change an
-/// artifact byte — heartbeats go to stderr, the snapshot to its own file.
-struct TelemetryCli {
-  double heartbeat_s = 0.0;
-  std::string metrics_out;
-
-  /// Handles one flag; `true` when it consumed the flag. `--progress`
-  /// takes an *optional* value: the next token is consumed only when it
-  /// does not look like another flag.
-  bool parse(const std::string& flag, int& k, int argc, char** argv) {
-    if (flag == "--metrics-out") {
-      if (k + 1 >= argc) throw std::invalid_argument("--metrics-out needs a value");
-      metrics_out = argv[++k];
-      return true;
-    }
-    if (flag == "--progress") {
-      heartbeat_s = 10.0;
-      if (k + 1 < argc && argv[k + 1][0] != '-')
-        heartbeat_s = support::parse_double(argv[++k], "--progress");
-      return true;
-    }
-    return false;
-  }
-
-  [[nodiscard]] std::optional<telemetry::Heartbeat> start_heartbeat(
-      std::string kind, std::string spec) const {
-    if (heartbeat_s <= 0) return std::nullopt;
-    telemetry::HeartbeatConfig config;
-    config.interval_s = heartbeat_s;
-    config.extra = [kind = std::move(kind), spec = std::move(spec)] {
-      support::Json extra = support::Json::object();
-      extra.set("kind", support::Json(kind));
-      extra.set("spec", support::Json(spec));
-      return extra;
-    };
-    return std::optional<telemetry::Heartbeat>(std::in_place, std::move(config));
-  }
-
-  void write_metrics(const telemetry::RunManifest& manifest, double wall_ms,
-                     bool quiet) const {
-    if (metrics_out.empty()) return;
-    telemetry::write_metrics(metrics_out, manifest, wall_ms);
-    if (!quiet) std::fprintf(stderr, "metrics written to %s\n", metrics_out.c_str());
-  }
-};
-
-double wall_ms_since(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
-      .count();
-}
-
-/// The manifest records the *effective* worker count: 0 means "hardware"
-/// everywhere in the option structs, which would read as nonsense in a
-/// metrics snapshot.
-std::uint64_t resolved_threads(std::size_t requested) {
-  if (requested > 0) return requested;
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? hw : 1;
-}
+using driver::TelemetryCli;
+using driver::resolved_threads;
+using driver::wall_ms_since;
 
 int usage() {
   std::fprintf(stderr,
@@ -158,12 +110,14 @@ int usage() {
                "  aurv_sweep run <scenario.json> [--threads N] [--out PATH] [--jsonl PATH]\n"
                "             [--checkpoint PATH] [--checkpoint-every K] [--resume]\n"
                "             [--shard-size K] [--max-shards K] [--quiet]\n"
-               "             [--progress [SECS]] [--metrics-out PATH]\n"
+               "             [--progress [SECS]] [--metrics-out PATH] [--trace-out PATH]\n"
                "  aurv_sweep search <search.json> [--max-shards N] [--out PATH]\n"
-               "             [--incumbent-log PATH] [--checkpoint PATH] [--compact-every K]\n"
+               "             [--incumbent-log PATH] [--provenance PATH]\n"
+               "             [--checkpoint PATH] [--compact-every K]\n"
                "             [--resume] [--max-waves K] [--spill-dir PATH]\n"
                "             [--frontier-mem N] [--spill-segments N] [--degraded-cap N]\n"
                "             [--quiet] [--progress [SECS]] [--metrics-out PATH]\n"
+               "             [--trace-out PATH]\n"
                "  aurv_sweep describe <spec.json>\n"
                "  aurv_sweep list\n");
   return 2;
@@ -253,6 +207,7 @@ int cmd_search(int argc, char** argv) {
       options.max_shards = support::parse_uint(value(), flag.c_str());
     else if (flag == "--out") out_path = value();
     else if (flag == "--incumbent-log") options.incumbent_log_path = value();
+    else if (flag == "--provenance") options.provenance_path = value();
     else if (flag == "--checkpoint") options.checkpoint_path = value();
     // --checkpoint-every is the pre-delta-journal spelling, kept as an alias.
     else if (flag == "--compact-every" || flag == "--checkpoint-every")
@@ -275,6 +230,8 @@ int cmd_search(int argc, char** argv) {
     }
   }
 
+  telemetry_cli.open_trace();
+
   telemetry::Timer& load_timer = telemetry::registry().timer("phase.load");
   telemetry::Timer& run_timer = telemetry::registry().timer("phase.run");
   telemetry::Timer& emit_timer = telemetry::registry().timer("phase.emit");
@@ -282,6 +239,8 @@ int cmd_search(int argc, char** argv) {
   std::optional<exp::SearchSpec> loaded;
   {
     const telemetry::ScopedTimer time_load(load_timer);
+    const support::trace::Span span("load", "phase",
+                                    support::trace::Span::Options{.announce = true});
     loaded.emplace(exp::SearchSpec::load(spec_path));
   }
   const exp::SearchSpec& spec = *loaded;
@@ -298,6 +257,8 @@ int cmd_search(int argc, char** argv) {
   std::optional<exp::SearchRunResult> run;
   {
     const telemetry::ScopedTimer time_run(run_timer);
+    const support::trace::Span span("run", "phase",
+                                    support::trace::Span::Options{.announce = true});
     run.emplace(exp::run_search(spec, options));
   }
   const exp::SearchRunResult& result = *run;
@@ -316,6 +277,8 @@ int cmd_search(int argc, char** argv) {
 
   {
     const telemetry::ScopedTimer time_emit(emit_timer);
+    const support::trace::Span span("emit", "phase",
+                                    support::trace::Span::Options{.announce = true});
     const support::Json certificate = result.certificate(spec);
     if (out_path.empty()) {
       std::printf("%s", certificate.dump(2).c_str());
@@ -324,6 +287,8 @@ int cmd_search(int argc, char** argv) {
       if (!quiet) std::fprintf(stderr, "certificate written to %s\n", out_path.c_str());
     }
   }
+  // Seal the trace before the snapshot so its trace.* counters are final.
+  telemetry_cli.close_trace(quiet);
 
   telemetry::RunManifest manifest;
   manifest.kind = "search";
@@ -374,6 +339,8 @@ int cmd_run(int argc, char** argv) {
     }
   }
 
+  telemetry_cli.open_trace();
+
   telemetry::Timer& load_timer = telemetry::registry().timer("phase.load");
   telemetry::Timer& run_timer = telemetry::registry().timer("phase.run");
   telemetry::Timer& emit_timer = telemetry::registry().timer("phase.emit");
@@ -381,6 +348,8 @@ int cmd_run(int argc, char** argv) {
   support::Json spec_json;
   {
     const telemetry::ScopedTimer time_load(load_timer);
+    const support::trace::Span span("load", "phase",
+                                    support::trace::Span::Options{.announce = true});
     try {
       spec_json = support::Json::load_file(spec_path);
     } catch (const std::exception& error) {
@@ -412,6 +381,8 @@ int cmd_run(int argc, char** argv) {
   };
   const auto emit = [&](const support::Json& summary) {
     const telemetry::ScopedTimer time_emit(emit_timer);
+    const support::trace::Span span("emit", "phase",
+                                    support::trace::Span::Options{.announce = true});
     if (out_path.empty()) {
       std::printf("%s", summary.dump(2).c_str());
     } else {
@@ -420,6 +391,8 @@ int cmd_run(int argc, char** argv) {
     }
   };
   const auto write_metrics = [&](const char* kind, std::uint64_t fingerprint) {
+    // Seal the trace before the snapshot so its trace.* counters are final.
+    telemetry_cli.close_trace(quiet);
     telemetry::RunManifest manifest;
     manifest.kind = kind;
     manifest.spec_path = spec_path;
@@ -445,6 +418,8 @@ int cmd_run(int argc, char** argv) {
     std::optional<gatherx::CensusResult> run;
     {
       const telemetry::ScopedTimer time_run(run_timer);
+      const support::trace::Span span("run", "phase",
+                                      support::trace::Span::Options{.announce = true});
       run.emplace(gatherx::run_census(spec, options));
     }
     const gatherx::CensusResult& result = *run;
@@ -466,6 +441,8 @@ int cmd_run(int argc, char** argv) {
   std::optional<exp::CampaignResult> run;
   {
     const telemetry::ScopedTimer time_run(run_timer);
+    const support::trace::Span span("run", "phase",
+                                    support::trace::Span::Options{.announce = true});
     run.emplace(exp::run_campaign(spec, options));
   }
   const exp::CampaignResult& result = *run;

@@ -1,0 +1,120 @@
+// The observability invocation surface shared by the example drivers
+// (aurv_sweep, aurv_cli sweep): flag parsing and lifecycle for the
+// heartbeat (`--progress [SECS]`), the end-of-run metrics snapshot
+// (`--metrics-out PATH`) and the Chrome-trace span stream
+// (`--trace-out PATH`).
+//
+// None of these can change an artifact byte — heartbeats go to stderr,
+// the snapshot and the trace to their own files, and the trace sink
+// degrades soft on write failure (PR 7's hard invariant: observation
+// never perturbs a deterministic artifact).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "support/json.hpp"
+#include "support/parse.hpp"
+#include "support/telemetry.hpp"
+#include "support/trace.hpp"
+
+namespace aurv::driver {
+
+namespace telemetry = support::telemetry;
+
+/// The telemetry flags shared by `run`, `search` and `aurv_cli sweep`:
+/// `--progress[=secs]` turns on the heartbeat (one JSON line on stderr
+/// every N seconds; bare flag = 10 s, 0 = off; each line carries the
+/// active phase/span name), `--metrics-out PATH` writes the end-of-run
+/// metrics snapshot, `--trace-out PATH` streams structured spans as a
+/// Chrome Trace Event Format file (load it in Perfetto or
+/// chrome://tracing).
+struct TelemetryCli {
+  double heartbeat_s = 0.0;
+  std::string metrics_out;
+  std::string trace_out;
+
+  /// Handles one flag; `true` when it consumed the flag. `--progress`
+  /// takes an *optional* value: the next token is consumed only when it
+  /// does not look like another flag.
+  bool parse(const std::string& flag, int& k, int argc, char** argv) {
+    if (flag == "--metrics-out") {
+      if (k + 1 >= argc) throw std::invalid_argument("--metrics-out needs a value");
+      metrics_out = argv[++k];
+      return true;
+    }
+    if (flag == "--trace-out") {
+      if (k + 1 >= argc) throw std::invalid_argument("--trace-out needs a value");
+      trace_out = argv[++k];
+      return true;
+    }
+    if (flag == "--progress") {
+      heartbeat_s = 10.0;
+      if (k + 1 < argc && argv[k + 1][0] != '-')
+        heartbeat_s = support::parse_double(argv[++k], "--progress");
+      return true;
+    }
+    return false;
+  }
+
+  /// Opens the process-wide trace sink when `--trace-out` was given.
+  /// An unopenable path degrades the sink (one stderr warning) — the
+  /// run itself proceeds untouched.
+  void open_trace() const {
+    if (!trace_out.empty()) support::trace::sink().open(trace_out);
+  }
+
+  /// Seals the trace file (footer + flush). Call after the last span of
+  /// the run has closed and before the metrics snapshot, so the
+  /// snapshot's `trace.*` counters are final.
+  void close_trace(bool quiet) const {
+    if (trace_out.empty()) return;
+    const bool healthy = !support::trace::sink().degraded();
+    support::trace::sink().close();
+    if (!quiet && healthy)
+      std::fprintf(stderr, "trace written to %s\n", trace_out.c_str());
+  }
+
+  [[nodiscard]] std::optional<telemetry::Heartbeat> start_heartbeat(
+      std::string kind, std::string spec) const {
+    if (heartbeat_s <= 0) return std::nullopt;
+    telemetry::HeartbeatConfig config;
+    config.interval_s = heartbeat_s;
+    config.extra = [kind = std::move(kind), spec = std::move(spec)] {
+      support::Json extra = support::Json::object();
+      extra.set("kind", support::Json(kind));
+      extra.set("spec", support::Json(spec));
+      return extra;
+    };
+    return std::optional<telemetry::Heartbeat>(std::in_place, std::move(config));
+  }
+
+  void write_metrics(const telemetry::RunManifest& manifest, double wall_ms,
+                     bool quiet) const {
+    if (metrics_out.empty()) return;
+    telemetry::write_metrics(metrics_out, manifest, wall_ms);
+    if (!quiet) std::fprintf(stderr, "metrics written to %s\n", metrics_out.c_str());
+  }
+};
+
+inline double wall_ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// The manifest records the *effective* worker count: 0 means "hardware"
+/// everywhere in the option structs, which would read as nonsense in a
+/// metrics snapshot.
+inline std::uint64_t resolved_threads(std::size_t requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+}  // namespace aurv::driver

@@ -7,12 +7,20 @@ Subcommands:
         Pretty-print one snapshot: run manifest, phase timings, and the
         counter/gauge/histogram tables grouped by subsystem prefix.
 
-    python3 scripts/metrics_report.py diff before.json after.json
+    python3 scripts/metrics_report.py diff before.json after.json \
+            [--fail-on NAME=PCT ...]
         Counter deltas and timing ratios between two snapshots of the
         same scenario (e.g. before/after an optimisation, or 1-thread
         vs 4-thread). Counters are expected to be thread-count-invariant;
         a nonzero counter delta between thread configurations is a
         determinism smell worth chasing.
+
+        Each --fail-on NAME=PCT turns a drift into a hard failure: the
+        command exits nonzero when counter NAME moved by more than PCT
+        percent of its before value (in either direction; PCT=0 demands
+        exact equality, and any growth from a zero baseline trips the
+        threshold). Designed for CI gates, e.g.
+        --fail-on vfs.retries=0 --fail-on engine.events=5.
 
     python3 scripts/metrics_report.py validate metrics.json
         Check the snapshot against scripts/metrics_schema.json (schema
@@ -188,7 +196,21 @@ def show(path: str) -> None:
 # ---------------------------------------------------------------------------
 
 
-def diff(before_path: str, after_path: str) -> None:
+def parse_fail_on(spec: str) -> tuple:
+    """Parses one NAME=PCT threshold; returns (counter_name, pct)."""
+    name, equals, pct_text = spec.partition("=")
+    if not equals or not name:
+        raise SystemExit(f"--fail-on {spec!r}: expected NAME=PCT")
+    try:
+        pct = float(pct_text)
+    except ValueError:
+        raise SystemExit(f"--fail-on {spec!r}: {pct_text!r} is not a number")
+    if pct < 0:
+        raise SystemExit(f"--fail-on {spec!r}: PCT must be >= 0")
+    return name, pct
+
+
+def diff(before_path: str, after_path: str, fail_on=()) -> None:
     before, after = load(before_path), load(after_path)
     b_run, a_run = before.get("run", {}), after.get("run", {})
     print(f"before: {before_path} ({b_run.get('kind', '?')}, threads {b_run.get('threads', '?')})")
@@ -222,6 +244,27 @@ def diff(before_path: str, after_path: str) -> None:
             ratio = f"{a_ns / b_ns:.2f}x" if b_ns else "-"
             print(f"    {name:<28} {format_ns(b_ns):>12} -> {format_ns(a_ns):<12} {ratio}")
 
+    # Threshold gates: each violation is reported, then one nonzero exit.
+    violations = []
+    for name, pct in fail_on:
+        b_value, a_value = b_counters.get(name, 0), a_counters.get(name, 0)
+        delta = abs(a_value - b_value)
+        if delta == 0:
+            continue
+        if b_value == 0:
+            violations.append(f"{name}: {b_value:,} -> {a_value:,} "
+                              f"(grew from a zero baseline; threshold {pct:g}%)")
+        elif delta * 100.0 > pct * b_value:
+            violations.append(f"{name}: {b_value:,} -> {a_value:,} "
+                              f"({delta * 100.0 / b_value:.2f}% > {pct:g}%)")
+    if violations:
+        print("\nFAIL: counter thresholds exceeded:")
+        for violation in violations:
+            print(f"    {violation}")
+        raise SystemExit(1)
+    if fail_on:
+        print(f"\nall {len(fail_on)} --fail-on threshold(s) satisfied")
+
 
 def main() -> None:
     if len(sys.argv) < 2:
@@ -229,8 +272,20 @@ def main() -> None:
     command, arguments = sys.argv[1], sys.argv[2:]
     if command == "show" and len(arguments) == 1:
         show(arguments[0])
-    elif command == "diff" and len(arguments) == 2:
-        diff(arguments[0], arguments[1])
+    elif command == "diff" and len(arguments) >= 2:
+        positional, fail_on, k = [], [], 0
+        while k < len(arguments):
+            if arguments[k] == "--fail-on":
+                if k + 1 >= len(arguments):
+                    raise SystemExit("--fail-on needs a NAME=PCT value")
+                fail_on.append(parse_fail_on(arguments[k + 1]))
+                k += 2
+            else:
+                positional.append(arguments[k])
+                k += 1
+        if len(positional) != 2:
+            raise SystemExit(__doc__)
+        diff(positional[0], positional[1], fail_on)
     elif command == "validate" and len(arguments) == 1:
         validate(arguments[0])
         print(f"{arguments[0]}: valid metrics-snapshot (schema 1)")

@@ -1,0 +1,331 @@
+#!/usr/bin/env python3
+"""Inspect and audit aurv_sweep search --provenance streams.
+
+Subcommands:
+
+    python3 scripts/provenance_report.py show prov.jsonl
+        Summarise the stream: record counts per action, wave span, the
+        incumbent trajectory, and the pruning pressure per wave.
+
+    python3 scripts/provenance_report.py audit prov.jsonl certificate.json
+        Replay the decision stream and cross-check it against the
+        certificate the same (completed) search emitted. The audit
+        re-derives from first principles what the certificate claims:
+
+          * every decision is structurally sound — box ids are unique,
+            every decided box (except the root) is a recorded child of a
+            box branched in a strictly earlier wave;
+          * the incumbent ladder is strictly improving, numbered 1..N
+            with N == stats.improvements, and its final rung matches the
+            certificate's incumbent (score, box id, found_at_box);
+          * every prune is justified — pruned-bound / pruned-pop records
+            cite an incumbent that existed at decision time and a bound
+            that cannot beat it by more than min_improvement;
+            pruned-infeasible records carry a -inf bound;
+          * the decision tally reproduces the certificate statistics
+            (evaluated, branched, leaves, pruned, improvements);
+          * the open frontier reconstructed from the stream (branched
+            children never decided) matches open_boxes and
+            frontier_bound, and is empty when the certificate claims
+            exhaustion.
+
+        Exits nonzero with one diagnostic per violation. A passing audit
+        means the certificate's claims are entailed by the recorded
+        decisions, not merely asserted. The stream and the certificate
+        must come from the same search run to completion (one shot or
+        across resume — the stream is byte-identical either way).
+
+Stdlib-only on purpose, like the other report scripts.
+"""
+
+import json
+import sys
+
+ACTIONS = ("branched", "leaf", "pruned-infeasible", "pruned-bound", "pruned-pop")
+# Bounds round-trip through JSON at full double precision; the slack only
+# absorbs decimal-formatting wobble, not real bound violations.
+EPSILON = 1e-9
+
+
+def fail(message: str) -> None:
+    raise SystemExit(f"AUDIT FAIL: {message}")
+
+
+def as_bound(value):
+    """Decodes the bound encoding: a number, or "inf"/"-inf" strings."""
+    if value == "inf":
+        return float("inf")
+    if value == "-inf":
+        return float("-inf")
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return float(value)
+    fail(f"malformed bound {value!r}")
+
+
+def load_stream(path: str):
+    """Returns (header, records). Tolerates no torn tail: every line must
+    parse — the writer flushes records before the journal they fold under,
+    and an audit of a completed run must see the complete stream."""
+    try:
+        with open(path) as handle:
+            lines = handle.read().splitlines()
+    except OSError as error:
+        raise SystemExit(f"{path}: {error}")
+    if not lines:
+        fail(f"{path}: empty stream (no header)")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as error:
+        fail(f"{path}:1: unparseable header ({error})")
+    if not isinstance(header, dict) or header.get("kind") != "search-provenance":
+        fail(f"{path}:1: not a search-provenance header")
+    if header.get("schema") != 1:
+        fail(f"{path}:1: schema {header.get('schema')!r}, expected 1")
+    records = []
+    for number, line in enumerate(lines[1:], start=2):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            fail(f"{path}:{number}: unparseable record ({error})")
+        if not isinstance(record, dict):
+            fail(f"{path}:{number}: record is not an object")
+        record["_line"] = number
+        records.append(record)
+    return header, records
+
+
+def load_certificate(path: str):
+    try:
+        with open(path) as handle:
+            certificate = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise SystemExit(f"{path}: {error}")
+    if certificate.get("kind") != "search-certificate":
+        raise SystemExit(f"{path}: not a search-certificate")
+    return certificate
+
+
+# ---------------------------------------------------------------------------
+# audit
+# ---------------------------------------------------------------------------
+
+
+def audit(stream_path: str, certificate_path: str) -> None:
+    _, records = load_stream(stream_path)
+    certificate = load_certificate(certificate_path)
+    search = certificate["search"]
+    stats = search["stats"]
+    budget = certificate.get("scenario", {}).get("budget", {})
+    min_improvement = float(budget.get("min_improvement", 0.0))
+
+    decisions = {}    # box id -> decision record
+    children = {}     # child id -> bound recorded at spawn time
+    incumbents = []   # incumbent records, in stream order
+    last_wave = 0
+
+    for record in records:
+        line = record["_line"]
+        wave = record.get("wave")
+        if not isinstance(wave, int) or isinstance(wave, bool) or wave < 0:
+            fail(f"line {line}: missing or malformed wave number")
+        if wave < last_wave:
+            fail(f"line {line}: wave {wave} after wave {last_wave} (stream out of order)")
+        last_wave = wave
+        box = record.get("box")
+        if not isinstance(box, str):
+            fail(f"line {line}: missing box id")
+
+        if "incumbent" in record:
+            seq = record["incumbent"]
+            if seq != len(incumbents) + 1:
+                fail(f"line {line}: incumbent #{seq}, expected #{len(incumbents) + 1} "
+                     f"(ladder must be numbered 1..N in order)")
+            score = record.get("score")
+            if not isinstance(score, (int, float)) or isinstance(score, bool):
+                fail(f"line {line}: incumbent without a numeric score")
+            if incumbents and score <= incumbents[-1]["score"] + min_improvement:
+                fail(f"line {line}: incumbent #{seq} score {score} does not improve "
+                     f"on #{seq - 1} ({incumbents[-1]['score']}) by more than "
+                     f"min_improvement={min_improvement}")
+            incumbents.append(record)
+            continue
+
+        action = record.get("action")
+        if action not in ACTIONS:
+            fail(f"line {line}: unknown action {action!r}")
+        if box in decisions:
+            fail(f"line {line}: box {box!r} decided twice "
+                 f"(first at line {decisions[box]['_line']})")
+        bound = as_bound(record.get("bound"))
+        inc = record.get("inc")
+        if not isinstance(inc, int) or isinstance(inc, bool) or inc < 0:
+            fail(f"line {line}: missing or malformed incumbent sequence number")
+        if inc > len(incumbents):
+            fail(f"line {line}: cites incumbent #{inc} before it was found")
+
+        # Prune justification: the cited incumbent must make the bound
+        # worthless (or the box must be infeasible outright).
+        if action in ("pruned-bound", "pruned-pop"):
+            if bound == float("-inf"):
+                pass  # infeasible bounds are always prunable
+            elif inc == 0:
+                fail(f"line {line}: {action} of {box!r} cites no incumbent and the "
+                     f"bound {bound} is not -inf — nothing justified this prune")
+            else:
+                threshold = incumbents[inc - 1]["score"] + min_improvement
+                if bound > threshold + EPSILON:
+                    fail(f"line {line}: {action} of {box!r} with bound {bound} > "
+                         f"incumbent #{inc} score + min_improvement = {threshold} "
+                         f"— this box could have beaten the incumbent")
+        if action == "pruned-infeasible" and bound != float("-inf"):
+            fail(f"line {line}: pruned-infeasible of {box!r} with finite bound {bound}")
+
+        # Lineage: every decided box except the root must have been
+        # recorded as a child of its parent's branch. Popped decisions
+        # (branched / leaf / pruned-pop) happen in a strictly later wave
+        # than the parent's branch; spawn prunes (pruned-bound and
+        # pruned-infeasible at spawn time) land in the parent's own wave.
+        if box:
+            parent = box[:-1]
+            parent_decision = decisions.get(parent)
+            if parent_decision is None or parent_decision["action"] != "branched":
+                fail(f"line {line}: box {box!r} decided but parent {parent!r} "
+                     f"was never branched")
+            popped = action in ("branched", "leaf", "pruned-pop")
+            if popped and parent_decision["wave"] >= wave:
+                fail(f"line {line}: box {box!r} popped in wave {wave} but its "
+                     f"parent branched in wave {parent_decision['wave']} — "
+                     f"children must pop in a strictly later wave")
+            if not popped and parent_decision["wave"] > wave:
+                fail(f"line {line}: box {box!r} spawn-pruned in wave {wave} "
+                     f"before its parent branched in wave {parent_decision['wave']}")
+            if box not in children:
+                fail(f"line {line}: box {box!r} decided but absent from its "
+                     f"parent's children list")
+
+        if action == "branched":
+            child_entries = record.get("children")
+            if not isinstance(child_entries, list) or not child_entries:
+                fail(f"line {line}: branched {box!r} without a children list")
+            for entry in child_entries:
+                child = entry.get("box")
+                if not isinstance(child, str) or child[:-1] != box:
+                    fail(f"line {line}: branched {box!r} lists child "
+                         f"{entry.get('box')!r} that is not its refinement")
+                if child in children:
+                    fail(f"line {line}: child {child!r} spawned twice")
+                children[child] = as_bound(entry.get("bound"))
+        decisions[box] = record
+
+    # ---- tally vs. the certificate statistics -----------------------------
+    tally = {action: 0 for action in ACTIONS}
+    for record in decisions.values():
+        tally[record["action"]] += 1
+    evaluated = tally["branched"] + tally["leaf"]
+    pruned = tally["pruned-infeasible"] + tally["pruned-bound"] + tally["pruned-pop"]
+    checks = [
+        ("evaluated", evaluated, stats["evaluated"]),
+        ("branched", tally["branched"], stats["branched"]),
+        ("leaves", tally["leaf"], stats["leaves"]),
+        ("pruned", pruned, stats["pruned"]),
+        ("improvements", len(incumbents), stats["improvements"]),
+    ]
+    for name, derived, claimed in checks:
+        if derived != claimed:
+            fail(f"stats.{name}: stream entails {derived}, certificate claims {claimed}")
+
+    # ---- incumbent ladder vs. the certificate incumbent -------------------
+    incumbent = search.get("incumbent", {})
+    if incumbents:
+        final = incumbents[-1]
+        if final["score"] != incumbent.get("score"):
+            fail(f"final incumbent score {final['score']} != certificate "
+                 f"{incumbent.get('score')}")
+        if final["box"] != incumbent.get("box"):
+            fail(f"final incumbent box {final['box']!r} != certificate "
+                 f"{incumbent.get('box')!r}")
+        if final.get("at") != incumbent.get("found_at_box"):
+            fail(f"final incumbent found at box #{final.get('at')} != certificate "
+                 f"found_at_box {incumbent.get('found_at_box')}")
+    elif incumbent:
+        fail("certificate has an incumbent the stream never recorded")
+
+    # ---- the open frontier, reconstructed ---------------------------------
+    # Everything ever spawned (plus the root) minus everything decided is
+    # exactly what the certificate must report as still open.
+    universe = set(children)
+    universe.add("")
+    open_boxes = universe - set(decisions)
+    if len(open_boxes) != search["open_boxes"]:
+        fail(f"open frontier: stream entails {len(open_boxes)} open boxes, "
+             f"certificate claims {search['open_boxes']}")
+    if search.get("exhausted") and open_boxes:
+        fail(f"certificate claims exhaustion but {len(open_boxes)} boxes are "
+             f"still open in the stream")
+    if open_boxes:
+        frontier_bound = max(children[box] for box in open_boxes)
+        claimed = as_bound(search["frontier_bound"])
+        if abs(frontier_bound - claimed) > EPSILON:
+            fail(f"frontier_bound: stream entails {frontier_bound}, certificate "
+                 f"claims {claimed}")
+
+    print(f"AUDIT PASS: {len(records)} records entail the certificate "
+          f"({evaluated} evaluated, {pruned} pruned, {len(incumbents)} incumbent "
+          f"improvements, {len(open_boxes)} open)")
+
+
+# ---------------------------------------------------------------------------
+# show
+# ---------------------------------------------------------------------------
+
+
+def show(stream_path: str) -> None:
+    header, records = load_stream(stream_path)
+    print(f"{stream_path}: search-provenance, fingerprint {header.get('fingerprint', '?')}")
+    decisions = [r for r in records if "action" in r]
+    incumbents = [r for r in records if "incumbent" in r]
+    waves = [r["wave"] for r in records if isinstance(r.get("wave"), int)]
+    print(f"  {len(records)} records over waves "
+          f"{min(waves, default=0)}..{max(waves, default=0)}")
+
+    counts = {}
+    for record in decisions:
+        counts[record["action"]] = counts.get(record["action"], 0) + 1
+    if counts:
+        print("\ndecisions:")
+        for action in ACTIONS:
+            if action in counts:
+                print(f"    {action:<18} {counts[action]:>10,}")
+    if incumbents:
+        print("\nincumbent trajectory:")
+        for record in incumbents:
+            print(f"    #{record['incumbent']:<3} wave {record['wave']:<5} "
+                  f"score {record['score']:<22} box {record['box']!r}")
+
+    per_wave = {}
+    for record in decisions:
+        entry = per_wave.setdefault(record["wave"], {"popped": 0, "pruned": 0})
+        entry["popped"] += 1
+        if record["action"].startswith("pruned"):
+            entry["pruned"] += 1
+    if per_wave:
+        print("\npruning pressure (pruned/popped per wave):")
+        for wave in sorted(per_wave):
+            entry = per_wave[wave]
+            print(f"    wave {wave:<5} {entry['pruned']:>6}/{entry['popped']:<6}")
+
+
+def main() -> None:
+    if len(sys.argv) < 2:
+        raise SystemExit(__doc__)
+    command, arguments = sys.argv[1], sys.argv[2:]
+    if command == "show" and len(arguments) == 1:
+        show(arguments[0])
+    elif command == "audit" and len(arguments) == 2:
+        audit(arguments[0], arguments[1])
+    else:
+        raise SystemExit(__doc__)
+
+
+if __name__ == "__main__":
+    main()

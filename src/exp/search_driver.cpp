@@ -24,6 +24,7 @@ SearchRunResult run_search(const SearchSpec& spec, const SearchOptions& options)
   search::BnbOptions bnb_options;
   bnb_options.max_shards = options.max_shards;
   bnb_options.incumbent_log_path = options.incumbent_log_path;
+  bnb_options.provenance_path = options.provenance_path;
   bnb_options.checkpoint_path = options.checkpoint_path;
   bnb_options.checkpoint_every = options.checkpoint_every;
   bnb_options.resume = options.resume;

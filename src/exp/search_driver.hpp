@@ -26,6 +26,12 @@ struct SearchOptions {
   /// JSONL stream of incumbent improvements, in deterministic order.
   std::string incumbent_log_path;
 
+  /// Opt-in prune-provenance JSONL stream (see BnbOptions::provenance_path):
+  /// one auditable decision record per popped box, byte-identical at any
+  /// worker count and across resume; scripts/provenance_report.py audits
+  /// it against the certificate. Empty = off.
+  std::string provenance_path;
+
   /// Base-checkpoint file enabling resume (a per-wave delta journal rides
   /// beside it). Empty = off.
   std::string checkpoint_path;

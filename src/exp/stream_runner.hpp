@@ -30,6 +30,7 @@
 #include "support/jsonl.hpp"
 #include "support/parallel.hpp"
 #include "support/telemetry.hpp"
+#include "support/trace.hpp"
 
 namespace aurv::exp {
 
@@ -156,6 +157,7 @@ template <typename Aggregate, typename RunJob>
     Aggregate aggregate;
     std::string jsonl;
     telemetry::ShardAccumulator metrics;
+    support::trace::TraceBuffer trace;  ///< shard-local spans, merged in order
   };
   std::mutex stash_mutex;
   // Size bounded by the runner's max_in_flight window (set below), even
@@ -174,8 +176,20 @@ template <typename Aggregate, typename RunJob>
     const std::uint64_t shard = start_shard + local_shard;
     const auto [lo, hi] = job_range(shard);
     ShardOutput output;
-    for (std::uint64_t job = lo; job < hi; ++job) {
-      run_job(job, output.aggregate, want_jsonl ? &output.jsonl : nullptr);
+    output.trace = support::trace::TraceBuffer(static_cast<std::uint32_t>(shard + 1));
+    {
+      // Scoped so the span lands in the buffer before the output moves.
+      support::trace::Span span(
+          "shard", "runner", support::trace::Span::Options{.buffer = &output.trace});
+      if (span.armed()) {
+        Json args = Json::object();
+        args.set("shard", Json(shard));
+        args.set("jobs", Json(hi - lo));
+        span.set_args(std::move(args));
+      }
+      for (std::uint64_t job = lo; job < hi; ++job) {
+        run_job(job, output.aggregate, want_jsonl ? &output.jsonl : nullptr);
+      }
     }
     output.metrics.add("runner.jobs", hi - lo);
     const std::scoped_lock lock(stash_mutex);
@@ -194,6 +208,7 @@ template <typename Aggregate, typename RunJob>
     }
     state.aggregate.merge(output.aggregate);
     telemetry::registry().merge(output.metrics);
+    support::trace::sink().merge(output.trace);
     shards_counter.add();
     jsonl.append(output.jsonl);
     state.completed_shards = shard + 1;
@@ -207,6 +222,8 @@ template <typename Aggregate, typename RunJob>
         ((shard + 1) % options.checkpoint_every == 0 || shard + 1 == total_shards)) {
       jsonl.flush();
       const telemetry::ScopedTimer time_checkpoint(checkpoint_timer);
+      const support::trace::Span span("checkpoint", "runner",
+                                      support::trace::Span::Options{.announce = true});
       support::save_json_atomically(options.checkpoint_path, checkpoint_to_json(state));
       checkpoints_counter.add();
     }
@@ -232,6 +249,8 @@ template <typename Aggregate, typename RunJob>
   if (!result.complete && !options.checkpoint_path.empty()) {
     jsonl.flush();
     const telemetry::ScopedTimer time_checkpoint(checkpoint_timer);
+    const support::trace::Span span("checkpoint", "runner",
+                                    support::trace::Span::Options{.announce = true});
     support::save_json_atomically(options.checkpoint_path, checkpoint_to_json(state));
     checkpoints_counter.add();
   }

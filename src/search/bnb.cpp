@@ -16,6 +16,7 @@
 #include "support/parallel.hpp"
 #include "support/spill.hpp"
 #include "support/telemetry.hpp"
+#include "support/trace.hpp"
 
 namespace aurv::search {
 
@@ -288,6 +289,99 @@ std::string improvement_record(const Incumbent& incumbent,
   return record.dump() + "\n";
 }
 
+// ------------------------------------------------------------------------
+// Prune provenance: the auditable decision journal (--provenance). Every
+// record is emitted on the serialized side of the wave — assembly loop or
+// in-order completion hook — so the stream is byte-identical at any
+// worker count. Each record carries the wave number it is folded under
+// (the next journal record's wave), which is what lets resume truncate
+// the stream to the replayed wave boundary WITHOUT storing any provenance
+// bookkeeping in checkpoints: checkpoint bytes are identical with the
+// stream on or off.
+// ------------------------------------------------------------------------
+
+/// First line of every stream: identifies the search it belongs to.
+std::string provenance_header(const std::string& fingerprint) {
+  Json record = Json::object();
+  record.set("kind", Json("search-provenance"));
+  record.set("schema", Json(std::uint64_t{1}));
+  record.set("fingerprint", Json(fingerprint));
+  return record.dump() + "\n";
+}
+
+/// One decision per box: what happened to it and under which incumbent.
+/// `children` (branched only) records each child's id and inserted bound —
+/// the data the auditor needs to reconstruct the open frontier.
+std::string decision_record(std::uint64_t wave, const std::string& box_id, const char* action,
+                            double bound, std::uint64_t incumbent_seq,
+                            const Json::Array* children) {
+  Json record = Json::object();
+  record.set("wave", Json(wave));
+  record.set("box", Json(box_id));
+  record.set("action", Json(action));
+  record.set("bound", bound_to_json(bound));
+  record.set("inc", Json(incumbent_seq));
+  if (children != nullptr) record.set("children", Json(*children));
+  return record.dump() + "\n";
+}
+
+/// One record per incumbent improvement: the sequence number is the
+/// value decision records cite in their "inc" field.
+std::string incumbent_provenance_record(std::uint64_t wave, const Incumbent& incumbent,
+                                        std::uint64_t seq) {
+  Json record = Json::object();
+  record.set("wave", Json(wave));
+  record.set("incumbent", Json(seq));
+  record.set("box", Json(incumbent.box_id));
+  record.set("score", Json(incumbent.score));
+  record.set("at", Json(incumbent.found_at_box));
+  return record.dump() + "\n";
+}
+
+/// Resume support: the byte length of the stream's prefix covering waves
+/// <= `waves` (the replayed state). Everything past it belongs to waves
+/// the resumed run will re-execute — and re-emit byte-identically. A torn
+/// trailing line is excluded like every other durable-prefix scan.
+std::uint64_t provenance_resume_offset(const std::string& path, std::uint64_t waves,
+                                       const std::string& fingerprint) {
+  if (!support::vfs().exists(path))
+    throw std::invalid_argument(
+        "provenance: " + path +
+        " is missing; cannot resume --provenance without the original stream (drop "
+        "--provenance, or delete the checkpoint to start over)");
+  const std::string data = support::vfs().read_file(path);
+  std::size_t consumed = 0;
+  bool saw_header = false;
+  while (true) {
+    const std::size_t newline = data.find('\n', consumed);
+    if (newline == std::string::npos) break;  // partial trailing record
+    Json record;
+    try {
+      record = Json::parse(std::string_view(data).substr(consumed, newline - consumed));
+    } catch (const support::JsonError&) {
+      break;  // torn write at the kill point: the durable prefix ends here
+    }
+    if (!saw_header) {
+      if (record.string_or("kind", "") != "search-provenance")
+        throw std::invalid_argument("provenance: " + path +
+                                    " is not a search-provenance stream; resuming would "
+                                    "truncate the wrong file");
+      if (record.string_or("fingerprint", "") != fingerprint)
+        throw std::invalid_argument(
+            "provenance: " + path +
+            " belongs to a different search (fingerprint mismatch); delete it to start over");
+      saw_header = true;
+    } else if (record.uint_or("wave", 0) > waves) {
+      break;  // first record of a wave the resumed run will re-execute
+    }
+    consumed = newline + 1;
+  }
+  if (!saw_header)
+    throw std::invalid_argument("provenance: " + path +
+                                " has no stream header; resuming would truncate the wrong file");
+  return consumed;
+}
+
 }  // namespace
 
 Json BnbResult::to_json() const {
@@ -346,6 +440,7 @@ BnbResult run_bnb(const ParamBox& root, const Objective& objective, const BnbLim
   SearchState state;
   state.frontier = Frontier(frontier_config);
   bool resumed = false;
+  bool root_infeasible = false;
   std::uint64_t journal_bytes = 0;
   if (options.resume && checkpointing) {
     // An explicit --resume with nothing (usable) to resume is refused with
@@ -373,6 +468,7 @@ BnbResult run_bnb(const ParamBox& root, const Objective& objective, const BnbLim
     AURV_CHECK_MSG(!std::isnan(root_bound), "objective bound must not be NaN");
     if (root_bound == -kInf) {
       ++state.stats.pruned;  // the entire space is provably scoreless
+      root_infeasible = true;
       pruned_infeasible_counter.add();
     } else {
       state.frontier.insert(OpenBox{root, root_bound});
@@ -393,6 +489,20 @@ BnbResult run_bnb(const ParamBox& root, const Objective& objective, const BnbLim
 
   support::JsonlSink log(options.incumbent_log_path, resumed ? state.log_bytes : 0);
 
+  // The prune-provenance stream. Fail-soft by contract: an unwritable
+  // stream degrades to a counting no-op and can never perturb the search.
+  const bool provenance_on = !options.provenance_path.empty();
+  std::uint64_t provenance_resume = 0;
+  if (provenance_on && resumed)
+    provenance_resume = provenance_resume_offset(options.provenance_path, state.stats.waves,
+                                                 options.fingerprint);
+  support::SoftJsonlSink provenance(options.provenance_path, "provenance", provenance_resume);
+  if (provenance_on && !resumed) {
+    provenance.append(provenance_header(options.fingerprint));
+    if (root_infeasible)
+      provenance.append(decision_record(0, root.id(), "pruned-infeasible", -kInf, 0, nullptr));
+  }
+
   // A box survives only if its bound can still beat the incumbent.
   const auto prunable = [&](double bound) {
     if (bound == -kInf) return true;
@@ -412,10 +522,13 @@ BnbResult run_bnb(const ParamBox& root, const Objective& objective, const BnbLim
   const auto compact = [&] {
     if (!checkpointing || !journal_dirty) return;
     log.flush();
+    provenance.flush();
     state.log_bytes = log.bytes();
     ++state.generation;
     {
       const telemetry::ScopedTimer time_checkpoint(checkpoint_timer);
+      const support::trace::Span span("checkpoint", "search",
+                                      support::trace::Span::Options{.announce = true});
       support::save_json_atomically(options.checkpoint_path,
                                     checkpoint_to_json(state, root, objective, limits, options));
     }
@@ -481,6 +594,12 @@ BnbResult run_bnb(const ParamBox& root, const Objective& objective, const BnbLim
     if (state.stats.evaluated >= limits.max_boxes || state.frontier.empty()) break;
     if (options.max_waves > 0 && waves_this_invocation >= options.max_waves) break;
 
+    // Provenance records emitted from here to the next completed wave are
+    // folded under its journal wave number — drain-only iterations (which
+    // write no journal record of their own) included, exactly like their
+    // pops ride in pending_popped.
+    const std::uint64_t wave_number = state.stats.waves + 1;
+
     // Assemble the wave: pop best-first, dropping boxes that can no longer
     // beat the incumbent. Wave size is spec-fixed — never thread-derived.
     std::vector<OpenBox> wave;
@@ -493,6 +612,11 @@ BnbResult run_bnb(const ParamBox& root, const Objective& objective, const BnbLim
       if (prunable(open.bound)) {
         ++state.stats.pruned;
         (open.bound == -kInf ? pruned_infeasible_counter : pruned_pop_counter).add();
+        if (provenance_on)
+          provenance.append(decision_record(
+              wave_number, open.box.id(),
+              open.bound == -kInf ? "pruned-infeasible" : "pruned-pop", open.bound,
+              state.stats.improvements, nullptr));
         continue;
       }
       wave.push_back(std::move(open));
@@ -511,11 +635,20 @@ BnbResult run_bnb(const ParamBox& root, const Objective& objective, const BnbLim
       std::vector<Rational> point;
       Evaluation evaluation;
       std::vector<OpenBox> children;
+      support::trace::TraceBuffer trace;  ///< shard-local spans, merged in order
     };
     std::vector<ShardOutput> outputs(wave.size());
 
     const auto body = [&](std::size_t shard) {
       ShardOutput& out = outputs[shard];
+      out.trace = support::trace::TraceBuffer(static_cast<std::uint32_t>(shard + 1));
+      support::trace::Span span("box", "search",
+                                support::trace::Span::Options{.buffer = &out.trace});
+      if (span.armed()) {
+        Json args = Json::object();
+        args.set("id", Json(wave[shard].box.id()));
+        span.set_args(std::move(args));
+      }
       out.point = wave[shard].box.midpoint();
       out.evaluation = objective.evaluate(out.point);
       if (wave[shard].box.width() > limits.min_width) {
@@ -535,6 +668,7 @@ BnbResult run_bnb(const ParamBox& root, const Objective& objective, const BnbLim
 
     const auto complete = [&](std::size_t shard) {
       ShardOutput& out = outputs[shard];
+      support::trace::sink().merge(out.trace);
       ++state.stats.evaluated;
       evaluated_counter.add();
       if (!state.incumbent.found || out.evaluation.score > state.incumbent.score) {
@@ -547,17 +681,45 @@ BnbResult run_bnb(const ParamBox& root, const Objective& objective, const BnbLim
         ++state.stats.improvements;
         improvements_counter.add();
         log.append(improvement_record(state.incumbent, options.dim_names));
+        if (provenance_on)
+          provenance.append(incumbent_provenance_record(wave_number, state.incumbent,
+                                                        state.stats.improvements));
       }
       if (out.children.empty()) {
         ++state.stats.leaves;
         leaves_counter.add();
+        if (provenance_on)
+          provenance.append(decision_record(wave_number, wave[shard].box.id(), "leaf",
+                                            wave[shard].bound, state.stats.improvements,
+                                            nullptr));
       } else {
         ++state.stats.branched;
         branched_counter.add();
+        if (provenance_on) {
+          // The branched record lists every child with its inserted bound
+          // — spawn-pruned ones get their own decision record below, and
+          // the remainder is exactly what the auditor reconstructs as the
+          // open frontier.
+          Json::Array child_entries;
+          for (const OpenBox& child : out.children) {
+            Json entry = Json::object();
+            entry.set("box", Json(child.box.id()));
+            entry.set("bound", bound_to_json(child.bound));
+            child_entries.push_back(std::move(entry));
+          }
+          provenance.append(decision_record(wave_number, wave[shard].box.id(), "branched",
+                                            wave[shard].bound, state.stats.improvements,
+                                            &child_entries));
+        }
         for (OpenBox& child : out.children) {
           if (prunable(child.bound)) {
             ++state.stats.pruned;
             (child.bound == -kInf ? pruned_infeasible_counter : pruned_spawn_counter).add();
+            if (provenance_on)
+              provenance.append(decision_record(
+                  wave_number, child.box.id(),
+                  child.bound == -kInf ? "pruned-infeasible" : "pruned-bound", child.bound,
+                  state.stats.improvements, nullptr));
           } else {
             if (checkpointing) wave_children.push_back(child.to_json());
             state.frontier.insert(std::move(child));
@@ -572,6 +734,14 @@ BnbResult run_bnb(const ParamBox& root, const Objective& objective, const BnbLim
     sharded.threads = options.max_shards;
     {
       const telemetry::ScopedTimer time_wave(wave_timer);
+      support::trace::Span span("wave", "search",
+                                support::trace::Span::Options{.announce = true});
+      if (span.armed()) {
+        Json args = Json::object();
+        args.set("wave", Json(wave_number));
+        args.set("boxes", Json(static_cast<std::uint64_t>(wave.size())));
+        span.set_args(std::move(args));
+      }
       support::run_sharded(wave.size(), body, complete, sharded);
     }
 
@@ -585,9 +755,12 @@ BnbResult run_bnb(const ParamBox& root, const Objective& objective, const BnbLim
 
     if (checkpointing) {
       // Delta checkpoint: flush the incumbent log (so its recorded offset
-      // is durable before the record referencing it), then append and
-      // flush this wave's journal record.
+      // is durable before the record referencing it) and the provenance
+      // stream (its wave-W records must be durable before the wave-W
+      // journal record — a resume that replays wave W never re-emits
+      // them), then append and flush this wave's journal record.
       log.flush();
+      provenance.flush();
       state.log_bytes = log.bytes();
       Json record = Json::object();
       record.set("wave", Json(state.stats.waves));
@@ -616,6 +789,7 @@ BnbResult run_bnb(const ParamBox& root, const Objective& objective, const BnbLim
   // so the next invocation resumes from exactly where this one stopped —
   // and a finished search leaves a terminal checkpoint behind.
   compact();
+  provenance.flush();
 
   BnbResult result;
   result.incumbent = state.incumbent;

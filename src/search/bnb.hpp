@@ -80,6 +80,21 @@ struct BnbOptions {
   /// Empty = off.
   std::string incumbent_log_path;
 
+  /// Opt-in prune-provenance stream (JSONL): a header record, then one
+  /// decision record per popped box — canonical path id, action in
+  /// {branched, leaf, pruned-infeasible, pruned-bound, pruned-pop}, the
+  /// interval bound, and the incumbent sequence number at decision time —
+  /// plus one record per incumbent improvement and per spawn-pruned
+  /// child. Emitted on the serialized side of every wave, so the stream
+  /// is byte-identical at any worker count and across checkpoint/resume
+  /// (records carry their wave number; resume truncates to the replayed
+  /// wave boundary — the stream needs no checkpoint bookkeeping, keeping
+  /// checkpoints byte-identical with provenance on or off). A persistent
+  /// write failure degrades the stream soft (`provenance.dropped` ticks,
+  /// the run continues untouched). scripts/provenance_report.py replays
+  /// and audits the stream against the certificate. Empty = off.
+  std::string provenance_path;
+
   /// Base-checkpoint file enabling resume; the per-wave journal rides
   /// beside it as "<checkpoint_path>.wave.<generation>.jsonl". Empty = off.
   std::string checkpoint_path;

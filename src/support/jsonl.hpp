@@ -146,6 +146,7 @@ class JsonlSink {
         const std::uint64_t backoff = retry_.backoff_ms << (attempt - 1);
         telemetry::registry().counter("vfs.retries").add();
         telemetry::registry().counter("vfs.backoff_ms").add(backoff);
+        trace::instant("vfs.retry", "vfs");
         vfs().sleep_for_ms(backoff);
       }
     }
@@ -164,6 +165,79 @@ class JsonlSink {
   RetryPolicy retry_;
   std::unique_ptr<VfsFile> file_;  ///< closed silently by the destructor
   std::uint64_t bytes_ = 0;
+};
+
+/// A fail-soft JsonlSink for observability streams that are deterministic
+/// artifacts *when healthy* but must never fail the run (the search
+/// provenance stream): a persistent I/O failure — at open or on any
+/// append — degrades the sink to a counting no-op. Each record that
+/// cannot be written ticks `<counter_prefix>.dropped`, and one warning
+/// lands on stderr. Resume-offset mismatches (the caller pointed a
+/// checkpoint at the wrong file) still throw: those are configuration
+/// errors, not disk weather.
+class SoftJsonlSink {
+ public:
+  SoftJsonlSink() = default;
+
+  SoftJsonlSink(const std::string& path, std::string counter_prefix,
+                std::uint64_t resume_bytes = 0, RetryPolicy retry = {})
+      : counter_prefix_(std::move(counter_prefix)), path_hint_(path) {
+    if (path.empty()) return;
+    try {
+      sink_ = std::make_unique<JsonlSink>(path, resume_bytes, retry);
+    } catch (const VfsError& error) {
+      degrade(path, error.reason());
+    }
+  }
+
+  /// Whether records are currently reaching the file.
+  [[nodiscard]] bool healthy() const noexcept { return sink_ != nullptr; }
+  [[nodiscard]] bool degraded() const noexcept { return degraded_; }
+
+  void append(const std::string& text) {
+    if (degraded_) {
+      telemetry::registry().counter(counter_prefix_ + ".dropped").add();
+      return;
+    }
+    if (sink_ == nullptr) return;
+    try {
+      sink_->append(text);
+    } catch (const VfsError& error) {
+      // JsonlSink already rolled the file back to its durable prefix.
+      bytes_at_degrade_ = sink_->bytes();
+      degrade(path_hint_.empty() ? "<provenance>" : path_hint_, error.reason());
+      telemetry::registry().counter(counter_prefix_ + ".dropped").add();
+    }
+  }
+
+  void flush() {
+    if (sink_ == nullptr) return;
+    try {
+      sink_->flush();
+    } catch (const VfsError& error) {
+      bytes_at_degrade_ = sink_->bytes();
+      degrade(path_hint_.empty() ? "<provenance>" : path_hint_, error.reason());
+    }
+  }
+
+  /// Durable-prefix offset for checkpoints (frozen at degrade time).
+  [[nodiscard]] std::uint64_t bytes() const noexcept {
+    return sink_ != nullptr ? sink_->bytes() : bytes_at_degrade_;
+  }
+
+ private:
+  void degrade(const std::string& path, const std::string& reason) {
+    sink_.reset();
+    degraded_ = true;
+    std::fprintf(stderr, "aurv: %s: %s (%s); stream disabled, records dropped\n",
+                 counter_prefix_.c_str(), path.c_str(), reason.c_str());
+  }
+
+  std::string counter_prefix_ = "jsonl";
+  std::string path_hint_;
+  std::unique_ptr<JsonlSink> sink_;
+  std::uint64_t bytes_at_degrade_ = 0;
+  bool degraded_ = false;
 };
 
 }  // namespace aurv::support

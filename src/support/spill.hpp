@@ -55,6 +55,7 @@
 #include "support/check.hpp"
 #include "support/json.hpp"
 #include "support/telemetry.hpp"
+#include "support/trace.hpp"
 #include "support/vfs.hpp"
 
 namespace aurv::support {
@@ -381,6 +382,7 @@ class SpillDeque {
       enforce_degraded_cap();
       return;
     }
+    trace::Span span("spill.segment", "spill", trace::Span::Options{.announce = true});
     const std::size_t keep = config_.mem_capacity / 2;
     auto first_cold = hot_.begin();
     std::advance(first_cold, keep);
@@ -401,6 +403,11 @@ class SpillDeque {
       return;
     }
     spilled_ += count;
+    if (span.armed()) {
+      Json args = Json::object();
+      args.set("records", Json(count));
+      span.set_args(std::move(args));
+    }
     hot_.erase(first_cold, hot_.end());
     Segment segment{SpillSegmentReader(path, 0, count), std::nullopt};
     segment.head = Codec::from_json(Json::parse(segment.reader.head()));
@@ -417,6 +424,7 @@ class SpillDeque {
   /// unmerged segments) instead of losing records.
   void merge_segments() {
     if (segments_.size() <= 1) return;
+    trace::Span span("spill.merge", "spill", trace::Span::Options{.announce = true});
     struct Scratch {
       SpillSegmentReader reader;
       T head;
@@ -453,6 +461,11 @@ class SpillDeque {
     }
     AURV_CHECK_MSG(count > 0, "SpillDeque: merged zero records from nonempty segments");
     telemetry::registry().counter("spill.merges").add();
+    if (span.armed()) {
+      Json args = Json::object();
+      args.set("records", Json(count));
+      span.set_args(std::move(args));
+    }
     for (Segment& segment : segments_) retired_.push_back(segment.reader.path());
     segments_.clear();
     Segment merged{SpillSegmentReader(path, 0, count), std::nullopt};

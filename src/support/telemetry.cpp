@@ -114,6 +114,37 @@ void Registry::reset() {
 }
 
 // ------------------------------------------------------------------------
+// Activity stack
+// ------------------------------------------------------------------------
+
+ActivityStack& ActivityStack::instance() {
+  static ActivityStack* the_stack = new ActivityStack();  // never destroyed, like the registry
+  return *the_stack;
+}
+
+std::uint64_t ActivityStack::push(std::string name) {
+  std::lock_guard lock(mutex_);
+  const std::uint64_t token = next_token_++;
+  stack_.emplace_back(token, std::move(name));
+  return token;
+}
+
+void ActivityStack::pop(std::uint64_t token) {
+  std::lock_guard lock(mutex_);
+  for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+    if (it->first == token) {
+      stack_.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+std::string ActivityStack::current() const {
+  std::lock_guard lock(mutex_);
+  return stack_.empty() ? std::string() : stack_.back().second;
+}
+
+// ------------------------------------------------------------------------
 // Heartbeat
 // ------------------------------------------------------------------------
 
@@ -187,6 +218,7 @@ void Heartbeat::emit() {
   Json line = Json::object();
   line.set("heartbeat", Json(seq));
   line.set("elapsed_s", Json(elapsed_s));
+  line.set("phase", Json(activity().current()));
   if (config_.extra) {
     // Named, not inlined into the range-for: the range-init temporary is
     // not lifetime-extended in C++20.

@@ -225,6 +225,50 @@ class Registry {
 [[nodiscard]] inline Registry& registry() { return Registry::instance(); }
 
 // ------------------------------------------------------------------------
+// Activity stack (what is the run doing *right now*?)
+// ------------------------------------------------------------------------
+
+/// Process-wide stack of named activities (phases, waves, checkpoint
+/// writes, spill merges). The heartbeat stamps the innermost name into
+/// every beat line, so a long checkpoint or merge reads as itself instead
+/// of a stall. Entries are token-addressed, not strictly LIFO: announced
+/// spans may close out of order across threads, and pop(token) removes
+/// the matching entry wherever it sits.
+class ActivityStack {
+ public:
+  [[nodiscard]] static ActivityStack& instance();
+
+  /// Pushes `name`; returns a token for pop().
+  std::uint64_t push(std::string name);
+  void pop(std::uint64_t token);
+  /// The innermost active name ("" when idle).
+  [[nodiscard]] std::string current() const;
+
+ private:
+  ActivityStack() = default;
+
+  mutable std::mutex mutex_;
+  std::uint64_t next_token_ = 1;
+  std::vector<std::pair<std::uint64_t, std::string>> stack_;
+};
+
+/// Shorthand for ActivityStack::instance().
+[[nodiscard]] inline ActivityStack& activity() { return ActivityStack::instance(); }
+
+/// RAII activity entry: pushes on construction, pops on destruction.
+class ScopedActivity {
+ public:
+  explicit ScopedActivity(std::string name)
+      : token_(ActivityStack::instance().push(std::move(name))) {}
+  ~ScopedActivity() { ActivityStack::instance().pop(token_); }
+  ScopedActivity(const ScopedActivity&) = delete;
+  ScopedActivity& operator=(const ScopedActivity&) = delete;
+
+ private:
+  std::uint64_t token_;
+};
+
+// ------------------------------------------------------------------------
 // Heartbeat
 // ------------------------------------------------------------------------
 
@@ -243,7 +287,8 @@ struct HeartbeatConfig {
 /// Clock-driven progress reporter: a background thread that every
 /// `interval_s` seconds writes one line of compact JSON to `out`:
 ///
-///   {"heartbeat":k,"elapsed_s":...,"counters":{...},"gauges":{...},
+///   {"heartbeat":k,"elapsed_s":...,"phase":"<innermost activity>",
+///    "counters":{...},"gauges":{...},
 ///    "rates":{"<counter>":per_second_since_last_beat,...}}
 ///
 /// Purely observational: it reads the registry's atomics and writes to a

@@ -45,6 +45,7 @@
 
 #include "support/json.hpp"
 #include "support/telemetry.hpp"
+#include "support/trace.hpp"
 
 namespace aurv::support {
 
@@ -163,6 +164,7 @@ auto retry_io(const RetryPolicy& policy, Fn&& fn) -> decltype(fn()) {
       const std::uint64_t backoff = policy.backoff_ms << (attempt - 1);
       telemetry::registry().counter("vfs.retries").add();
       telemetry::registry().counter("vfs.backoff_ms").add(backoff);
+      trace::instant("vfs.retry", "vfs");
       vfs().sleep_for_ms(backoff);
     }
   }

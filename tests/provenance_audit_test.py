@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""End-to-end check of the provenance audit trail (registered via ctest).
+
+Runs the real aurv_sweep binary on scenarios/search_smoke.json with
+--provenance, audits the stream against the emitted certificate with
+scripts/provenance_report.py, and then verifies the audit fails loudly on
+a hand-corrupted stream (an inflated prune bound — the exact forgery the
+audit exists to catch — and a dropped decision record).
+
+Usage: provenance_audit_test.py <aurv_sweep-binary> <repo-root>
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+
+def run(argv, **kwargs):
+    return subprocess.run([str(a) for a in argv], capture_output=True, text=True, **kwargs)
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        raise SystemExit(__doc__)
+    sweep, root = pathlib.Path(sys.argv[1]), pathlib.Path(sys.argv[2])
+    report = root / "scripts" / "provenance_report.py"
+    scenario = root / "scenarios" / "search_smoke.json"
+
+    with tempfile.TemporaryDirectory(prefix="aurv_prov_audit_") as raw:
+        work = pathlib.Path(raw)
+        cert = work / "cert.json"
+        stream = work / "prov.jsonl"
+
+        search = run([sweep, "search", scenario, "--quiet",
+                      "--out", cert, "--provenance", stream])
+        if search.returncode != 0:
+            print(search.stderr)
+            raise SystemExit(f"aurv_sweep search failed with {search.returncode}")
+
+        audit = run([sys.executable, report, "audit", stream, cert])
+        if audit.returncode != 0:
+            print(audit.stdout + audit.stderr)
+            raise SystemExit("audit of an honest stream must pass")
+        print(audit.stdout.strip())
+
+        lines = stream.read_text().splitlines()
+
+        # Forgery 1: inflate a pruned box's bound so the prune looks
+        # unjustified — the box could have beaten the incumbent.
+        forged = list(lines)
+        for index, line in enumerate(forged):
+            record = json.loads(line)
+            if record.get("action") in ("pruned-bound", "pruned-pop"):
+                record["bound"] = 1.0e9
+                forged[index] = json.dumps(record, separators=(",", ":"))
+                break
+        else:
+            raise SystemExit("smoke stream unexpectedly has no pruned records")
+        bad = work / "forged_bound.jsonl"
+        bad.write_text("\n".join(forged) + "\n")
+        verdict = run([sys.executable, report, "audit", bad, cert])
+        if verdict.returncode == 0:
+            raise SystemExit("audit must reject an unjustified prune")
+        print(f"forged bound rejected: {(verdict.stdout + verdict.stderr).strip()}")
+
+        # Forgery 2: silently drop a decision record.
+        forged = list(lines)
+        for index in range(len(forged) - 1, -1, -1):
+            if '"action"' in forged[index]:
+                del forged[index]
+                break
+        bad = work / "dropped_decision.jsonl"
+        bad.write_text("\n".join(forged) + "\n")
+        verdict = run([sys.executable, report, "audit", bad, cert])
+        if verdict.returncode == 0:
+            raise SystemExit("audit must notice a missing decision record")
+        print(f"dropped record rejected: {(verdict.stdout + verdict.stderr).strip()}")
+
+    print("PASS: provenance audit trail verified end to end")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
