@@ -7,7 +7,7 @@
 //   aurv_cli adversary s1|s2 [algorithm]
 //   aurv_cli sweep     scenario.json [threads] [--threads N] [--quiet]
 //                      [--progress [SECS]] [--metrics-out PATH]
-//                      [--trace-out PATH]
+//                      [--trace-out PATH] [--status-port PORT]
 //
 //   algorithms: aurv (default) | latecomers | cgkk | cgkk-ext |
 //               wait-and-search | boundary | recommended
@@ -23,8 +23,9 @@
 //
 // `sweep` is a thin alias for `aurv_sweep run` (which has the full option
 // set: JSONL records, checkpoints, resume) sharing its observability
-// surface: `--progress` heartbeats, `--metrics-out` snapshots and
-// `--trace-out` Chrome-trace spans.
+// surface: `--progress` heartbeats, `--metrics-out` snapshots,
+// `--trace-out` Chrome-trace spans and the `--status-port` embedded HTTP
+// status server (see EXPERIMENTS.md, "Watching a live run").
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -57,6 +58,7 @@ int usage(const char* argv0) {
                "  %s adversary s1|s2 [algorithm]\n"
                "  %s sweep     scenario.json [threads] [--threads N] [--quiet]\n"
                "               [--progress [SECS]] [--metrics-out PATH] [--trace-out PATH]\n"
+               "               [--status-port PORT]\n"
                "algorithms: aurv | latecomers | cgkk | cgkk-ext | wait-and-search |"
                " boundary | recommended\n",
                argv0, argv0, argv0, argv0);
@@ -201,6 +203,9 @@ int cmd_sweep(int argc, char** argv) {
       const gatherx::GatherScenarioSpec spec = gatherx::GatherScenarioSpec::from_json(spec_json);
       std::optional<telemetry::Heartbeat> heartbeat =
           telemetry_cli.start_heartbeat("gather-census", spec_path);
+      const auto statusd = telemetry_cli.start_statusd(
+          "gather-census", spec_path, support::fingerprint_hex(spec.fingerprint()),
+          driver::resolved_threads(options.threads));
       std::optional<gatherx::CensusResult> run;
       {
         const support::trace::Span span("run", "phase",
@@ -215,6 +220,9 @@ int cmd_sweep(int argc, char** argv) {
     const exp::ScenarioSpec spec = exp::ScenarioSpec::from_json(spec_json);
     std::optional<telemetry::Heartbeat> heartbeat =
         telemetry_cli.start_heartbeat("campaign", spec_path);
+    const auto statusd = telemetry_cli.start_statusd(
+        "campaign", spec_path, support::fingerprint_hex(spec.fingerprint()),
+        driver::resolved_threads(options.threads));
     std::optional<exp::CampaignResult> run;
     {
       const support::trace::Span span("run", "phase",

@@ -22,6 +22,10 @@
 //                            run manifest) as JSON
 //       --trace-out PATH     structured span trace in Chrome Trace Event
 //                            Format (open in Perfetto / chrome://tracing)
+//       --status-port PORT   embedded HTTP status server on 127.0.0.1:PORT
+//                            (0 = ephemeral; the chosen port is announced as
+//                            one stderr JSON line): /metrics /status /healthz
+//                            /trace — see EXPERIMENTS.md "Watching a live run"
 //   aurv_sweep search <search.json> [options]
 //       --max-shards N       parallel box evaluations per wave (0 = hardware;
 //                            --threads is an alias); a worker cap, never a work
@@ -63,6 +67,10 @@
 //                            run manifest) as JSON
 //       --trace-out PATH     structured span trace in Chrome Trace Event
 //                            Format (open in Perfetto / chrome://tracing)
+//       --status-port PORT   embedded HTTP status server on 127.0.0.1:PORT
+//                            (0 = ephemeral; the chosen port is announced as
+//                            one stderr JSON line): /metrics /status /healthz
+//                            /trace — see EXPERIMENTS.md "Watching a live run"
 //
 //       The spill/compaction flags are invocation-side: certificates,
 //       incumbent logs and prune stats are byte-identical in-memory vs.
@@ -111,13 +119,14 @@ int usage() {
                "             [--checkpoint PATH] [--checkpoint-every K] [--resume]\n"
                "             [--shard-size K] [--max-shards K] [--quiet]\n"
                "             [--progress [SECS]] [--metrics-out PATH] [--trace-out PATH]\n"
+               "             [--status-port PORT]\n"
                "  aurv_sweep search <search.json> [--max-shards N] [--out PATH]\n"
                "             [--incumbent-log PATH] [--provenance PATH]\n"
                "             [--checkpoint PATH] [--compact-every K]\n"
                "             [--resume] [--max-waves K] [--spill-dir PATH]\n"
                "             [--frontier-mem N] [--spill-segments N] [--degraded-cap N]\n"
                "             [--quiet] [--progress [SECS]] [--metrics-out PATH]\n"
-               "             [--trace-out PATH]\n"
+               "             [--trace-out PATH] [--status-port PORT]\n"
                "  aurv_sweep describe <spec.json>\n"
                "  aurv_sweep list\n");
   return 2;
@@ -246,6 +255,10 @@ int cmd_search(int argc, char** argv) {
   const exp::SearchSpec& spec = *loaded;
   std::optional<telemetry::Heartbeat> heartbeat =
       telemetry_cli.start_heartbeat("search", spec_path);
+  // Held to end of scope: scraping stays live through emit + metrics.
+  const auto statusd = telemetry_cli.start_statusd(
+      "search", spec_path, support::fingerprint_hex(spec.fingerprint()),
+      resolved_threads(options.max_shards));
   if (!quiet) {
     options.progress = [](std::uint64_t evaluated, std::uint64_t open) {
       std::fprintf(stderr, "\r%llu boxes evaluated, %llu open   ",
@@ -415,6 +428,9 @@ int cmd_run(int argc, char** argv) {
     }
     std::optional<telemetry::Heartbeat> heartbeat =
         telemetry_cli.start_heartbeat("gather-census", spec_path);
+    const auto statusd = telemetry_cli.start_statusd(
+        "gather-census", spec_path, support::fingerprint_hex(spec.fingerprint()),
+        resolved_threads(options.threads));
     std::optional<gatherx::CensusResult> run;
     {
       const telemetry::ScopedTimer time_run(run_timer);
@@ -438,6 +454,9 @@ int cmd_run(int argc, char** argv) {
   }
   std::optional<telemetry::Heartbeat> heartbeat =
       telemetry_cli.start_heartbeat("campaign", spec_path);
+  const auto statusd = telemetry_cli.start_statusd(
+      "campaign", spec_path, support::fingerprint_hex(spec.fingerprint()),
+      resolved_threads(options.threads));
   std::optional<exp::CampaignResult> run;
   {
     const telemetry::ScopedTimer time_run(run_timer);

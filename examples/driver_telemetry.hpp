@@ -1,18 +1,21 @@
 // The observability invocation surface shared by the example drivers
 // (aurv_sweep, aurv_cli sweep): flag parsing and lifecycle for the
 // heartbeat (`--progress [SECS]`), the end-of-run metrics snapshot
-// (`--metrics-out PATH`) and the Chrome-trace span stream
-// (`--trace-out PATH`).
+// (`--metrics-out PATH`), the Chrome-trace span stream
+// (`--trace-out PATH`) and the embedded HTTP status server
+// (`--status-port PORT`, 0 = ephemeral).
 //
 // None of these can change an artifact byte — heartbeats go to stderr,
-// the snapshot and the trace to their own files, and the trace sink
-// degrades soft on write failure (PR 7's hard invariant: observation
-// never perturbs a deterministic artifact).
+// the snapshot and the trace to their own files, the status server only
+// reads and answers sockets, and both the trace sink and the server
+// degrade soft on failure (PR 7's hard invariant: observation never
+// perturbs a deterministic artifact).
 #pragma once
 
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -21,6 +24,7 @@
 
 #include "support/json.hpp"
 #include "support/parse.hpp"
+#include "support/statusd.hpp"
 #include "support/telemetry.hpp"
 #include "support/trace.hpp"
 
@@ -39,6 +43,7 @@ struct TelemetryCli {
   double heartbeat_s = 0.0;
   std::string metrics_out;
   std::string trace_out;
+  int status_port = -1;  ///< -1 = no server; 0 = ephemeral; else the port
 
   /// Handles one flag; `true` when it consumed the flag. `--progress`
   /// takes an *optional* value: the next token is consumed only when it
@@ -58,6 +63,13 @@ struct TelemetryCli {
       heartbeat_s = 10.0;
       if (k + 1 < argc && argv[k + 1][0] != '-')
         heartbeat_s = support::parse_double(argv[++k], "--progress");
+      return true;
+    }
+    if (flag == "--status-port") {
+      if (k + 1 >= argc) throw std::invalid_argument("--status-port needs a value");
+      const std::uint64_t port = support::parse_uint(argv[++k], "--status-port");
+      if (port > 65535) throw std::invalid_argument("--status-port: port out of range");
+      status_port = static_cast<int>(port);
       return true;
     }
     return false;
@@ -100,6 +112,23 @@ struct TelemetryCli {
     if (metrics_out.empty()) return;
     telemetry::write_metrics(metrics_out, manifest, wall_ms);
     if (!quiet) std::fprintf(stderr, "metrics written to %s\n", metrics_out.c_str());
+  }
+
+  /// Starts the embedded HTTP status server when `--status-port` was
+  /// given. Returns nullptr both when the flag is absent and when the
+  /// bind fails soft (one stderr warning + `statusd.dropped`) — callers
+  /// just hold the handle; destruction stops the server.
+  [[nodiscard]] std::unique_ptr<support::statusd::StatusServer> start_statusd(
+      std::string kind, std::string spec, std::string fingerprint,
+      std::uint64_t threads) const {
+    if (status_port < 0) return nullptr;
+    support::statusd::Config config;
+    config.port = status_port;
+    config.run.kind = std::move(kind);
+    config.run.spec = std::move(spec);
+    config.run.fingerprint = std::move(fingerprint);
+    config.run.threads = threads;
+    return support::statusd::StatusServer::start(std::move(config));
   }
 };
 

@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Inspect aurv --trace-out files (Chrome Trace Event Format).
+
+Subcommands:
+
+    python3 scripts/trace_report.py show trace.json
+        Pretty-print one trace: the phase-level wall breakdown
+        (load/run/emit spans), per-span-name duration aggregates
+        (count, total, p50, p95) and per-lane shard utilization —
+        busy time per lane (tid), the imbalance ratio max/mean, and
+        the busiest lanes. Lane 0 is the serialized side (wave loop,
+        checkpoints); lanes >= 1 are shard-local tracks.
+
+    python3 scripts/trace_report.py diff before.json after.json
+        Per-span-name count and total-duration comparison between two
+        traces of the same workload (e.g. before/after an optimisation,
+        or 1-shard vs 4-shard). Timestamps are wall-clock, so expect
+        noise — this is a profile diff, not a determinism check.
+
+Stdlib-only, like metrics_report.py. A trace written by a run that was
+killed mid-flight has no JSON footer; that parse failure is reported as
+such rather than a traceback.
+"""
+
+import json
+import sys
+
+
+def load_events(path: str) -> list:
+    try:
+        with open(path) as handle:
+            trace = json.load(handle)
+    except OSError as error:
+        raise SystemExit(f"{path}: {error}")
+    except json.JSONDecodeError as error:
+        raise SystemExit(
+            f"{path}: not a complete trace file ({error}); a killed run "
+            "leaves no JSON footer — re-run to completion, or trim the "
+            "partial last line and append \"]}\"")
+    events = trace.get("traceEvents") if isinstance(trace, dict) else None
+    if not isinstance(events, list):
+        raise SystemExit(f"{path}: no traceEvents array")
+    return events
+
+
+def complete_spans(events: list) -> list:
+    """The ph == "X" spans: (name, cat, ts_us, dur_us, tid)."""
+    spans = []
+    for event in events:
+        if isinstance(event, dict) and event.get("ph") == "X":
+            spans.append((str(event.get("name", "?")), str(event.get("cat", "?")),
+                          int(event.get("ts", 0)), int(event.get("dur", 0)),
+                          int(event.get("tid", 0))))
+    return spans
+
+
+def percentile(sorted_values: list, fraction: float) -> int:
+    """Nearest-rank percentile of a pre-sorted list."""
+    if not sorted_values:
+        return 0
+    rank = max(1, round(fraction * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
+def format_us(us: int) -> str:
+    if us >= 1_000_000:
+        return f"{us / 1e6:.2f} s"
+    if us >= 1_000:
+        return f"{us / 1e3:.2f} ms"
+    return f"{us} us"
+
+
+def by_name(spans: list) -> dict:
+    """name -> list of durations (us)."""
+    groups: dict = {}
+    for name, _cat, _ts, dur, _tid in spans:
+        groups.setdefault(name, []).append(dur)
+    return groups
+
+
+# ---------------------------------------------------------------------------
+# show
+# ---------------------------------------------------------------------------
+
+
+def show(path: str) -> None:
+    events = load_events(path)
+    spans = complete_spans(events)
+    if not spans:
+        print(f"{path}: no complete spans")
+        return
+    wall_start = min(ts for _n, _c, ts, _d, _t in spans)
+    wall_end = max(ts + dur for _n, _c, ts, dur, _t in spans)
+    wall = max(1, wall_end - wall_start)
+    print(f"{path}: {len(events)} events, {len(spans)} spans, "
+          f"wall {format_us(wall)}")
+
+    phases = [(name, dur) for name, cat, _ts, dur, _tid in spans if cat == "phase"]
+    if phases:
+        print("\nphases (wall breakdown):")
+        for name, dur in phases:
+            print(f"    {name:<20} {format_us(dur):>12}  {100.0 * dur / wall:5.1f}%")
+
+    print("\nspans by name:")
+    print(f"    {'name':<20} {'count':>8} {'total':>12} {'p50':>10} {'p95':>10}")
+    groups = by_name(spans)
+    for name in sorted(groups, key=lambda n: -sum(groups[n])):
+        durations = sorted(groups[name])
+        print(f"    {name:<20} {len(durations):>8} {format_us(sum(durations)):>12} "
+              f"{format_us(percentile(durations, 0.50)):>10} "
+              f"{format_us(percentile(durations, 0.95)):>10}")
+
+    lanes: dict = {}
+    for _name, _cat, _ts, dur, tid in spans:
+        if tid > 0:
+            count, busy = lanes.get(tid, (0, 0))
+            lanes[tid] = (count + 1, busy + dur)
+    if lanes:
+        busies = [busy for _count, busy in lanes.values()]
+        mean_busy = sum(busies) / len(busies)
+        imbalance = max(busies) / mean_busy if mean_busy else 0.0
+        print(f"\nshard lanes: {len(lanes)}, busy mean {format_us(round(mean_busy))}, "
+              f"max {format_us(max(busies))}, imbalance {imbalance:.2f}x, "
+              f"aggregate utilization {100.0 * sum(busies) / (len(lanes) * wall):.1f}%")
+        top = sorted(lanes.items(), key=lambda item: -item[1][1])[:8]
+        for tid, (count, busy) in top:
+            print(f"    lane {tid:<6} {count:>8} spans {format_us(busy):>12} busy")
+
+
+# ---------------------------------------------------------------------------
+# diff
+# ---------------------------------------------------------------------------
+
+
+def diff(before_path: str, after_path: str) -> None:
+    before = by_name(complete_spans(load_events(before_path)))
+    after = by_name(complete_spans(load_events(after_path)))
+    print(f"before: {before_path}")
+    print(f"after : {after_path}")
+    print(f"\n    {'name':<20} {'count':>13} {'total':>22}  ratio")
+    for name in sorted(set(before) | set(after)):
+        b_durations, a_durations = before.get(name, []), after.get(name, [])
+        b_total, a_total = sum(b_durations), sum(a_durations)
+        ratio = f"{a_total / b_total:.2f}x" if b_total else "-"
+        print(f"    {name:<20} {len(b_durations):>5} -> {len(a_durations):<5} "
+              f"{format_us(b_total):>9} -> {format_us(a_total):<9}  {ratio}")
+
+
+def main() -> None:
+    if len(sys.argv) < 2:
+        raise SystemExit(__doc__)
+    command, arguments = sys.argv[1], sys.argv[2:]
+    if command == "show" and len(arguments) == 1:
+        show(arguments[0])
+    elif command == "diff" and len(arguments) == 2:
+        diff(arguments[0], arguments[1])
+    else:
+        raise SystemExit(__doc__)
+
+
+if __name__ == "__main__":
+    main()

@@ -17,6 +17,7 @@
 // checkpoint payload).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <filesystem>
 #include <map>
@@ -29,6 +30,7 @@
 #include "support/check.hpp"
 #include "support/jsonl.hpp"
 #include "support/parallel.hpp"
+#include "support/statusd.hpp"
 #include "support/telemetry.hpp"
 #include "support/trace.hpp"
 
@@ -145,6 +147,20 @@ template <typename Aggregate, typename RunJob>
   jobs_total_gauge.set(static_cast<std::int64_t>(total_jobs));
   jobs_done_gauge.set(
       static_cast<std::int64_t>(std::min(total_jobs, state.completed_shards * options.shard_size)));
+
+  // Live /status progress for the embedded status server: reads only
+  // registry atomics (process-lifetime objects), unregistered — blocking
+  // on any in-flight scrape — when this frame unwinds.
+  const support::statusd::ScopedProgress progress_provider(
+      "runner", [&jobs_done_gauge, &jobs_total_gauge, &shards_counter] {
+        Json progress = Json::object();
+        progress.set("jobs_done", Json(static_cast<std::uint64_t>(
+                                      std::max<std::int64_t>(0, jobs_done_gauge.value()))));
+        progress.set("jobs_total", Json(static_cast<std::uint64_t>(
+                                       std::max<std::int64_t>(0, jobs_total_gauge.value()))));
+        progress.set("shards", Json(shards_counter.value()));
+        return progress;
+      });
 
   const std::uint64_t start_shard = state.completed_shards;
   std::uint64_t end_shard = total_shards;

@@ -1,0 +1,464 @@
+#include "support/statusd.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <thread>
+
+#include "support/trace.hpp"
+
+namespace aurv::support::statusd {
+
+namespace {
+
+// ----------------------------------------------------------------------
+// Prometheus text exposition
+// ----------------------------------------------------------------------
+
+/// "aurv_" + name with every '.' and '-' flattened to '_' (the legal
+/// Prometheus metric-name alphabet is [a-zA-Z0-9_:]).
+std::string prom_name(std::string_view name) {
+  std::string out = "aurv_";
+  for (const char c : name) out += (c == '.' || c == '-') ? '_' : c;
+  return out;
+}
+
+/// Label-value escaping per the exposition format: backslash, quote,
+/// newline.
+std::string escape_label(std::string_view value) {
+  std::string out;
+  for (const char c : value) {
+    if (c == '\\')
+      out += "\\\\";
+    else if (c == '"')
+      out += "\\\"";
+    else if (c == '\n')
+      out += "\\n";
+    else
+      out += c;
+  }
+  return out;
+}
+
+/// Seconds with fixed 9-digit precision — the one float format the C++
+/// and Python renderers must agree on byte-for-byte.
+std::string seconds_text(double seconds) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.9f", seconds);
+  return buffer;
+}
+
+/// Inclusive upper bound of bit_width bucket `index` as a decimal string:
+/// bucket 0 holds only 0, bucket k >= 1 holds [2^(k-1), 2^k) i.e. up to
+/// 2^k - 1.
+std::string bucket_le(int index) {
+  if (index == 0) return "0";
+  if (index >= 64) return "18446744073709551615";
+  return std::to_string((std::uint64_t{1} << index) - 1);
+}
+
+// ----------------------------------------------------------------------
+// HTTP plumbing
+// ----------------------------------------------------------------------
+
+const char* reason_phrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+Response json_response(int status, Json body) {
+  Response response;
+  response.status = status;
+  response.content_type = "application/json";
+  response.body = body.dump(2) + "\n";
+  return response;
+}
+
+Response error_response(int status, std::string_view message) {
+  Json body = Json::object();
+  body.set("error", Json(std::string(message)));
+  return json_response(status, std::move(body));
+}
+
+/// Parses the decimal value of `key` out of `query` ("a=1&b=2"). Returns
+/// `fallback` when absent, nullopt on a malformed value.
+std::optional<std::uint64_t> query_uint(std::string_view query, std::string_view key,
+                                        std::uint64_t fallback) {
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t end = query.find('&', pos);
+    if (end == std::string_view::npos) end = query.size();
+    const std::string_view pair = query.substr(pos, end - pos);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string_view::npos && pair.substr(0, eq) == key) {
+      const std::string_view value = pair.substr(eq + 1);
+      if (value.empty() || value.size() > 10) return std::nullopt;
+      std::uint64_t parsed = 0;
+      for (const char c : value) {
+        if (c < '0' || c > '9') return std::nullopt;
+        parsed = parsed * 10 + static_cast<std::uint64_t>(c - '0');
+      }
+      return parsed;
+    }
+    pos = end + 1;
+  }
+  return fallback;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------------
+// Progress providers
+// ----------------------------------------------------------------------
+
+ProgressRegistry& ProgressRegistry::instance() {
+  static ProgressRegistry* the_registry = new ProgressRegistry();  // leaked like
+                                                                   // the metric registry
+  return *the_registry;
+}
+
+std::uint64_t ProgressRegistry::add(std::string name, std::function<Json()> provider) {
+  std::lock_guard lock(mutex_);
+  const std::uint64_t token = next_token_++;
+  entries_.push_back(Entry{token, std::move(name), std::move(provider)});
+  return token;
+}
+
+void ProgressRegistry::remove(std::uint64_t token) {
+  // Taking the mutex is what blocks until an in-flight collect() — which
+  // invokes providers under the same mutex — has finished.
+  std::lock_guard lock(mutex_);
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->token == token) {
+      entries_.erase(it);
+      return;
+    }
+  }
+}
+
+Json ProgressRegistry::collect() const {
+  std::lock_guard lock(mutex_);
+  Json out = Json::object();
+  for (const Entry& entry : entries_) {
+    try {
+      out.set(entry.name, entry.provider());
+    } catch (const std::exception& error) {
+      Json failed = Json::object();
+      failed.set("error", Json(std::string(error.what())));
+      out.set(entry.name, std::move(failed));
+    } catch (...) {
+      Json failed = Json::object();
+      failed.set("error", Json("provider threw"));
+      out.set(entry.name, std::move(failed));
+    }
+  }
+  return out;
+}
+
+// ----------------------------------------------------------------------
+// Renderers
+// ----------------------------------------------------------------------
+
+std::string render_prometheus(const telemetry::Registry::Snapshot& snapshot,
+                              const RunInfo& run, double uptime_s) {
+  std::string out;
+  out.reserve(4096);
+
+  out += "# TYPE aurv_run_info gauge\n";
+  out += "aurv_run_info{kind=\"" + escape_label(run.kind) + "\",spec=\"" +
+         escape_label(run.spec) + "\",fingerprint=\"" + escape_label(run.fingerprint) +
+         "\",threads=\"" + std::to_string(run.threads) + "\"} 1\n";
+  out += "# TYPE aurv_uptime_seconds gauge\n";
+  out += "aurv_uptime_seconds " + seconds_text(uptime_s) + "\n";
+
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string metric = prom_name(name) + "_total";
+    out += "# TYPE " + metric + " counter\n";
+    out += metric + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string metric = prom_name(name);
+    out += "# TYPE " + metric + " gauge\n";
+    out += metric + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snapshot.histograms) {
+    const std::string metric = prom_name(name);
+    out += "# TYPE " + metric + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (const auto& [index, count] : value.buckets) {
+      cumulative += count;
+      out += metric + "_bucket{le=\"" + bucket_le(index) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += metric + "_bucket{le=\"+Inf\"} " + std::to_string(value.count) + "\n";
+    out += metric + "_sum " + std::to_string(value.sum) + "\n";
+    out += metric + "_count " + std::to_string(value.count) + "\n";
+  }
+  for (const auto& [name, value] : snapshot.timers) {
+    const std::string seconds = prom_name(name) + "_seconds_total";
+    out += "# TYPE " + seconds + " counter\n";
+    out += seconds + " " + seconds_text(static_cast<double>(value.total_ns) / 1e9) + "\n";
+    const std::string spans = prom_name(name) + "_spans_total";
+    out += "# TYPE " + spans + " counter\n";
+    out += spans + " " + std::to_string(value.count) + "\n";
+  }
+  return out;
+}
+
+Json degradation_detail() {
+  Json out = Json::array();
+  const telemetry::Registry::Snapshot snapshot = telemetry::registry().read_snapshot();
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (value != 0 && name.size() > 9 && name.ends_with(".degraded"))
+      out.push_back(Json(name));
+  }
+  if (trace::sink().degraded()) out.push_back(Json("trace"));
+  return out;
+}
+
+Json render_status(const RunInfo& run, double uptime_s) {
+  Json out = Json::object();
+  out.set("kind", Json(run.kind));
+  out.set("spec", Json(run.spec));
+  out.set("fingerprint", Json(run.fingerprint));
+  out.set("threads", Json(run.threads));
+  out.set("elapsed_s", Json(uptime_s));
+  out.set("phase", Json(telemetry::activity().current()));
+  out.set("progress", ProgressRegistry::instance().collect());
+
+  const telemetry::Registry::Snapshot snapshot = telemetry::registry().read_snapshot();
+  Json spill = Json::object();
+  for (const auto& [name, value] : snapshot.counters) {
+    if (name.starts_with("spill.")) spill.set(name, Json(value));
+  }
+  out.set("spill", std::move(spill));
+  out.set("degraded", degradation_detail());
+  return out;
+}
+
+Response handle_request(std::string_view method, std::string_view target,
+                        const RunInfo& run, double uptime_s) {
+  telemetry::registry().counter("statusd.requests").add();
+  if (method != "GET") return error_response(405, "method not allowed (GET only)");
+
+  std::string_view path = target;
+  std::string_view query;
+  if (const std::size_t mark = target.find('?'); mark != std::string_view::npos) {
+    path = target.substr(0, mark);
+    query = target.substr(mark + 1);
+  }
+
+  if (path == "/metrics") {
+    Response response;
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body =
+        render_prometheus(telemetry::registry().read_snapshot(), run, uptime_s);
+    return response;
+  }
+  if (path == "/status") return json_response(200, render_status(run, uptime_s));
+  if (path == "/healthz") {
+    Json detail = degradation_detail();
+    if (detail.as_array().empty()) {
+      Response response;
+      response.body = "ok\n";
+      return response;
+    }
+    Json body = Json::object();
+    body.set("degraded", std::move(detail));
+    return json_response(503, std::move(body));
+  }
+  if (path == "/trace") {
+    if (!trace::sink().enabled())
+      return error_response(404, "tracing not active (run with --trace-out)");
+    const std::optional<std::uint64_t> last = query_uint(query, "last", 32);
+    if (!last) return error_response(400, "malformed last=N");
+    Json spans = Json::array();
+    for (const std::string& line : trace::sink().recent(*last)) {
+      try {
+        spans.push_back(Json::parse(line));
+      } catch (const JsonError&) {
+        // A ring line is always a complete serialized event; skip defensively.
+      }
+    }
+    Json body = Json::object();
+    body.set("spans", std::move(spans));
+    return json_response(200, std::move(body));
+  }
+  Json body = Json::object();
+  body.set("error", Json("not found"));
+  Json endpoints = Json::array();
+  endpoints.push_back(Json("/metrics"));
+  endpoints.push_back(Json("/status"));
+  endpoints.push_back(Json("/healthz"));
+  endpoints.push_back(Json("/trace?last=N"));
+  body.set("endpoints", std::move(endpoints));
+  return json_response(404, std::move(body));
+}
+
+// ----------------------------------------------------------------------
+// Server
+// ----------------------------------------------------------------------
+
+struct StatusServer::Impl {
+  Config config;
+  int listen_fd = -1;
+  int port = 0;
+  std::chrono::steady_clock::time_point started;
+  std::atomic<bool> stopping{false};
+  std::thread thread;  ///< last concern torn down: stop() joins before close
+
+  ~Impl() {
+    stopping.store(true, std::memory_order_relaxed);
+    if (thread.joinable()) thread.join();
+    if (listen_fd >= 0) ::close(listen_fd);
+  }
+
+  void run() {
+    while (!stopping.load(std::memory_order_relaxed)) {
+      pollfd waiter{};
+      waiter.fd = listen_fd;
+      waiter.events = POLLIN;
+      // A short tick keeps stop() prompt without any wakeup machinery.
+      const int ready = ::poll(&waiter, 1, 200);
+      if (ready <= 0) continue;
+      const int connection = ::accept(listen_fd, nullptr, nullptr);
+      if (connection < 0) continue;
+      serve(connection);
+      ::close(connection);
+    }
+  }
+
+  /// Handles one connection start to finish (the connection bound: no
+  /// concurrent request handling on a diagnostics endpoint).
+  void serve(int fd) {
+    set_timeout(fd, SO_RCVTIMEO, config.read_timeout_ms);
+    set_timeout(fd, SO_SNDTIMEO, config.write_timeout_ms);
+
+    std::string request;
+    while (request.find("\r\n\r\n") == std::string::npos) {
+      if (request.size() >= config.max_request_bytes) {
+        send_response(fd, error_response(400, "request too large"));
+        return;
+      }
+      char buffer[2048];
+      const ssize_t got = ::recv(fd, buffer, sizeof(buffer), 0);
+      if (got <= 0) return;  // timeout, reset or premature close: drop silently
+      request.append(buffer, static_cast<std::size_t>(got));
+    }
+
+    const std::size_t line_end = request.find("\r\n");
+    const std::string_view line = std::string_view(request).substr(0, line_end);
+    const std::size_t method_end = line.find(' ');
+    const std::size_t target_end =
+        method_end == std::string_view::npos ? std::string_view::npos
+                                             : line.find(' ', method_end + 1);
+    if (method_end == std::string_view::npos || target_end == std::string_view::npos ||
+        !line.substr(target_end + 1).starts_with("HTTP/1.")) {
+      send_response(fd, error_response(400, "malformed request line"));
+      return;
+    }
+    const std::string_view method = line.substr(0, method_end);
+    const std::string_view target =
+        line.substr(method_end + 1, target_end - method_end - 1);
+    const double uptime_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
+    send_response(fd, handle_request(method, target, config.run, uptime_s));
+  }
+
+  static void set_timeout(int fd, int option, int timeout_ms) {
+    timeval tv{};
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = static_cast<decltype(tv.tv_usec)>((timeout_ms % 1000) * 1000);
+    ::setsockopt(fd, SOL_SOCKET, option, &tv, sizeof(tv));
+  }
+
+  static void send_response(int fd, const Response& response) {
+    std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                       reason_phrase(response.status) +
+                       "\r\nContent-Type: " + response.content_type +
+                       "\r\nContent-Length: " + std::to_string(response.body.size()) +
+                       "\r\nConnection: close\r\n\r\n";
+    send_all(fd, head + response.body);
+  }
+
+  static void send_all(int fd, std::string_view data) {
+    while (!data.empty()) {
+      const ssize_t sent = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+      if (sent <= 0) return;  // write timeout or reset: the scraper's loss
+      data.remove_prefix(static_cast<std::size_t>(sent));
+    }
+  }
+};
+
+StatusServer::StatusServer() : impl_(std::make_unique<Impl>()) {}
+
+StatusServer::~StatusServer() = default;
+
+int StatusServer::port() const noexcept { return impl_->port; }
+
+std::unique_ptr<StatusServer> StatusServer::start(Config config) {
+  const auto fail_soft = [&config](const char* what) -> std::unique_ptr<StatusServer> {
+    telemetry::registry().counter("statusd.dropped").add();
+    std::fprintf(stderr, "aurv: statusd: %s for %s:%d (%s); status server disabled\n",
+                 what, config.bind_address.c_str(), config.port, std::strerror(errno));
+    return nullptr;
+  };
+
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(static_cast<std::uint16_t>(config.port));
+  if (::inet_pton(AF_INET, config.bind_address.c_str(), &address.sin_addr) != 1) {
+    errno = EINVAL;
+    return fail_soft("bad bind address");
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return fail_soft("cannot create socket");
+  const int enable = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&address), sizeof(address)) != 0 ||
+      ::listen(fd, 8) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    return fail_soft("cannot bind");
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    return fail_soft("cannot read bound port");
+  }
+
+  auto server = std::unique_ptr<StatusServer>(new StatusServer());
+  server->impl_->config = std::move(config);
+  server->impl_->listen_fd = fd;
+  server->impl_->port = static_cast<int>(ntohs(bound.sin_port));
+  server->impl_->started = std::chrono::steady_clock::now();
+  // The one announce line: machine-parseable, so a harness scraping an
+  // ephemeral port can find it. stderr, never an artifact stream.
+  std::fprintf(stderr, "{\"statusd\":{\"port\":%d}}\n", server->impl_->port);
+  std::fflush(stderr);
+  server->impl_->thread = std::thread([impl = server->impl_.get()] { impl->run(); });
+  return server;
+}
+
+}  // namespace aurv::support::statusd

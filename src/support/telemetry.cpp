@@ -38,28 +38,40 @@ Registry& Registry::instance() {
 Counter& Registry::counter(std::string_view name) {
   std::lock_guard lock(mutex_);
   auto& slot = counters_[std::string(name)];
-  if (!slot) slot = std::make_unique<Counter>();
+  if (!slot) {
+    slot = std::make_unique<Counter>();
+    generation_.fetch_add(1, std::memory_order_release);
+  }
   return *slot;
 }
 
 Gauge& Registry::gauge(std::string_view name) {
   std::lock_guard lock(mutex_);
   auto& slot = gauges_[std::string(name)];
-  if (!slot) slot = std::make_unique<Gauge>();
+  if (!slot) {
+    slot = std::make_unique<Gauge>();
+    generation_.fetch_add(1, std::memory_order_release);
+  }
   return *slot;
 }
 
 Log2Histogram& Registry::histogram(std::string_view name) {
   std::lock_guard lock(mutex_);
   auto& slot = histograms_[std::string(name)];
-  if (!slot) slot = std::make_unique<Log2Histogram>();
+  if (!slot) {
+    slot = std::make_unique<Log2Histogram>();
+    generation_.fetch_add(1, std::memory_order_release);
+  }
   return *slot;
 }
 
 Timer& Registry::timer(std::string_view name) {
   std::lock_guard lock(mutex_);
   auto& slot = timers_[std::string(name)];
-  if (!slot) slot = std::make_unique<Timer>();
+  if (!slot) {
+    slot = std::make_unique<Timer>();
+    generation_.fetch_add(1, std::memory_order_release);
+  }
   return *slot;
 }
 
@@ -68,19 +80,79 @@ void Registry::merge(const ShardAccumulator& shard) {
   counter("telemetry.merges").add();
 }
 
-Json Registry::snapshot() const {
+std::shared_ptr<const Registry::Index> Registry::current_index() const {
+  // Fast path: the cached index matches the registration generation.
+  // Loading the generation first (acquire, paired with the registration
+  // release) means a stale-generation index can never pass the check.
+  const std::uint64_t generation = generation_.load(std::memory_order_acquire);
+  if (auto cached = index_.load(std::memory_order_acquire);
+      cached && cached->generation == generation) {
+    return cached;
+  }
+  // Slow path (first snapshot after a registration): rebuild under the
+  // mutex from the name-ordered maps, so index order — and therefore
+  // every rendering — stays name-sorted.
   std::lock_guard lock(mutex_);
+  auto index = std::make_shared<Index>();
+  index->generation = generation_.load(std::memory_order_relaxed);
+  index->counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) index->counters.emplace_back(name, c.get());
+  index->gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) index->gauges.emplace_back(name, g.get());
+  index->histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) index->histograms.emplace_back(name, h.get());
+  index->timers.reserve(timers_.size());
+  for (const auto& [name, t] : timers_) index->timers.emplace_back(name, t.get());
+  index_.store(index, std::memory_order_release);
+  return index;
+}
+
+Registry::Snapshot Registry::read_snapshot() const {
+  const std::shared_ptr<const Index> index = current_index();
+  Snapshot out;
+  out.counters.reserve(index->counters.size());
+  for (const auto& [name, c] : index->counters) out.counters.emplace_back(name, c->value());
+  out.gauges.reserve(index->gauges.size());
+  for (const auto& [name, g] : index->gauges) out.gauges.emplace_back(name, g->value());
+  out.histograms.reserve(index->histograms.size());
+  for (const auto& [name, h] : index->histograms) {
+    Snapshot::HistogramValue value;
+    value.count = h->count();
+    value.sum = h->sum();
+    for (int i = 0; i < 65; ++i) {
+      const std::uint64_t n = h->bucket(i);
+      if (n != 0) value.buckets.emplace_back(i, n);
+    }
+    out.histograms.emplace_back(name, std::move(value));
+  }
+  out.timers.reserve(index->timers.size());
+  for (const auto& [name, t] : index->timers) {
+    out.timers.emplace_back(name, Snapshot::TimerValue{t->total_ns(), t->count()});
+  }
+  return out;
+}
+
+Json Registry::snapshot() const {
+  const Snapshot snap = read_snapshot();
   Json counters = Json::object();
-  for (const auto& [name, c] : counters_) counters.set(name, Json(c->value()));
+  for (const auto& [name, value] : snap.counters) counters.set(name, Json(value));
   Json gauges = Json::object();
-  for (const auto& [name, g] : gauges_) gauges.set(name, Json(g->value()));
+  for (const auto& [name, value] : snap.gauges) gauges.set(name, Json(value));
   Json histograms = Json::object();
-  for (const auto& [name, h] : histograms_) histograms.set(name, h->to_json());
-  Json timers = Json::object();
-  for (const auto& [name, t] : timers_) {
+  for (const auto& [name, value] : snap.histograms) {
+    Json buckets = Json::object();
+    for (const auto& [index, n] : value.buckets) buckets.set(bucket_lower_bound(index), Json(n));
     Json entry = Json::object();
-    entry.set("ns", Json(t->total_ns()));
-    entry.set("count", Json(t->count()));
+    entry.set("count", Json(value.count));
+    entry.set("sum", Json(value.sum));
+    entry.set("buckets", std::move(buckets));
+    histograms.set(name, std::move(entry));
+  }
+  Json timers = Json::object();
+  for (const auto& [name, value] : snap.timers) {
+    Json entry = Json::object();
+    entry.set("ns", Json(value.total_ns));
+    entry.set("count", Json(value.count));
     timers.set(name, std::move(entry));
   }
   Json out = Json::object();
@@ -92,9 +164,9 @@ Json Registry::snapshot() const {
 }
 
 std::map<std::string, std::uint64_t> Registry::counter_values() const {
-  std::lock_guard lock(mutex_);
+  const Snapshot snap = read_snapshot();
   std::map<std::string, std::uint64_t> out;
-  for (const auto& [name, c] : counters_) out.emplace(name, c->value());
+  for (const auto& [name, value] : snap.counters) out.emplace(name, value);
   return out;
 }
 
@@ -188,18 +260,20 @@ void Heartbeat::run() {
 }
 
 void Heartbeat::emit() {
-  // Called with mutex_ held.
+  // Called with mutex_ held. One read_snapshot() call feeds the counter
+  // list, the rate computation AND the gauges — a single capture instead
+  // of the counter-walk + full-snapshot pair this used to do.
   const auto now = std::chrono::steady_clock::now();
   const double elapsed_s = std::chrono::duration<double>(now - start_).count();
   const double since_last_s = std::chrono::duration<double>(now - last_beat_).count();
-  const auto counters = registry().counter_values();
+  const Registry::Snapshot snap = registry().read_snapshot();
 
   Json counters_json = Json::object();
-  for (const auto& [name, value] : counters) counters_json.set(name, Json(value));
+  for (const auto& [name, value] : snap.counters) counters_json.set(name, Json(value));
 
   Json rates = Json::object();
   if (since_last_s > 0) {
-    for (const auto& [name, value] : counters) {
+    for (const auto& [name, value] : snap.counters) {
       const auto it = last_counters_.find(name);
       const std::uint64_t before = it == last_counters_.end() ? 0 : it->second;
       if (value > before) {
@@ -209,10 +283,7 @@ void Heartbeat::emit() {
   }
 
   Json gauges = Json::object();
-  {
-    const Json snap = registry().snapshot();
-    gauges = snap.at("gauges");
-  }
+  for (const auto& [name, value] : snap.gauges) gauges.set(name, Json(value));
 
   const std::uint64_t seq = beats_.fetch_add(1, std::memory_order_relaxed) + 1;
   Json line = Json::object();
@@ -233,7 +304,9 @@ void Heartbeat::emit() {
   std::fwrite(text.data(), 1, text.size(), config_.out);
   std::fflush(config_.out);
 
-  last_counters_ = counters;
+  last_counters_.clear();
+  for (const auto& [name, value] : snap.counters) last_counters_.emplace_hint(
+      last_counters_.end(), name, value);  // snapshot order is name-sorted
   last_beat_ = now;
 }
 

@@ -185,8 +185,44 @@ class ShardAccumulator {
 /// The process-wide metric registry. Lookup registers on first use;
 /// objects live for the process lifetime, so cached references never
 /// dangle. Snapshots render every family with name-sorted keys.
+///
+/// Snapshot thread-safety: `read_snapshot()` is the one snapshot
+/// implementation (the JSON `snapshot()` and `counter_values()` are thin
+/// renderings of it) and is safe to call concurrently from any number of
+/// threads — the heartbeat thread and every statusd scrape share it.
+/// After the first call following a registration, readers take no lock
+/// at all: they load a cached immutable name→object index (rebuilt under
+/// the mutex only when the registration generation changed, published
+/// via an atomic shared_ptr) and read each metric with relaxed atomic
+/// loads. A snapshot is therefore NOT a cross-metric atomic cut — values
+/// racing with concurrent updates may mix "before" and "after" per
+/// metric — but every value is itself a coherent atomic read, and a
+/// quiescent registry snapshots exactly.
 class Registry {
  public:
+  /// A point-in-time value capture of every registered metric, every
+  /// family name-sorted (the index is built from the name-ordered maps).
+  /// Plain values, no locks, no references into the registry: safe to
+  /// ship across threads or render at leisure.
+  struct Snapshot {
+    struct HistogramValue {
+      std::uint64_t count = 0;
+      std::uint64_t sum = 0;
+      /// Nonzero buckets only, as (bit_width bucket index, count),
+      /// index-ascending. Bucket k >= 1 holds samples in [2^(k-1), 2^k);
+      /// bucket 0 holds only the sample 0.
+      std::vector<std::pair<int, std::uint64_t>> buckets;
+    };
+    struct TimerValue {
+      std::uint64_t total_ns = 0;
+      std::uint64_t count = 0;
+    };
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, std::int64_t>> gauges;
+    std::vector<std::pair<std::string, HistogramValue>> histograms;
+    std::vector<std::pair<std::string, TimerValue>> timers;
+  };
+
   [[nodiscard]] static Registry& instance();
 
   [[nodiscard]] Counter& counter(std::string_view name);
@@ -200,11 +236,18 @@ class Registry {
   /// deterministic; the call itself also counts into "telemetry.merges".
   void merge(const ShardAccumulator& shard);
 
+  /// Captures every metric's current value. Lock-free for readers once
+  /// the cached index is warm (see the class comment); this is the one
+  /// snapshot implementation everything else renders from.
+  [[nodiscard]] Snapshot read_snapshot() const;
+
   /// {"counters":{...},"gauges":{...},"histograms":{...},"timers":{...}}
   /// — every family name-sorted; timers as {"ns":...,"count":...}.
+  /// Rendered from read_snapshot().
   [[nodiscard]] Json snapshot() const;
 
-  /// Counter values only (the heartbeat's rate baseline).
+  /// Counter values only (the heartbeat's rate baseline). Rendered from
+  /// read_snapshot().
   [[nodiscard]] std::map<std::string, std::uint64_t> counter_values() const;
 
   /// Zeroes every value in place; registered objects (and references to
@@ -212,13 +255,31 @@ class Registry {
   void reset();
 
  private:
+  /// Immutable name→object view of the registry, shared by concurrent
+  /// readers. Pointers stay valid forever (metric objects are never
+  /// deallocated); the index itself is replaced, never mutated, when a
+  /// registration bumps `generation_`.
+  struct Index {
+    std::uint64_t generation = 0;
+    std::vector<std::pair<std::string, const Counter*>> counters;
+    std::vector<std::pair<std::string, const Gauge*>> gauges;
+    std::vector<std::pair<std::string, const Log2Histogram*>> histograms;
+    std::vector<std::pair<std::string, const Timer*>> timers;
+  };
+
   Registry() = default;
+
+  [[nodiscard]] std::shared_ptr<const Index> current_index() const;
 
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Log2Histogram>> histograms_;
   std::map<std::string, std::unique_ptr<Timer>> timers_;
+  /// Bumped (under mutex_) by every first-use registration; readers
+  /// compare it against the cached index's generation without locking.
+  std::atomic<std::uint64_t> generation_{1};
+  mutable std::atomic<std::shared_ptr<const Index>> index_;
 };
 
 /// Shorthand for Registry::instance().

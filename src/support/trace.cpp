@@ -1,5 +1,6 @@
 #include "support/trace.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -13,6 +14,7 @@ namespace aurv::support::trace {
 namespace {
 
 constexpr std::size_t kFlushBytes = 256 * 1024;
+constexpr std::size_t kRingCapacity = 1024;  ///< recent-event lines kept for /trace
 
 std::uint64_t steady_ns() {
   return static_cast<std::uint64_t>(
@@ -37,6 +39,10 @@ struct TraceSink::Impl {
   std::uint64_t durable_bytes = 0;  ///< bytes known to be on disk (torn-write rewind point)
   bool first_event = true;
   RetryPolicy retry;
+  /// Bounded ring of the most recent event lines (statusd's /trace
+  /// source). `ring` grows to kRingCapacity then wraps at `ring_next`.
+  std::vector<std::string> ring;
+  std::size_t ring_next = 0;
 
   /// Appends `data` to the file with bounded deterministic retry,
   /// rewinding any torn prefix before each attempt. Returns false on a
@@ -102,6 +108,12 @@ struct TraceSink::Impl {
     first_event = false;
     pending += line;
     ++pending_events;
+    if (ring.size() < kRingCapacity) {
+      ring.push_back(std::move(line));
+    } else {
+      ring[ring_next] = std::move(line);
+      ring_next = (ring_next + 1) % kRingCapacity;
+    }
     telemetry::registry().counter("trace.events").add();
     if (pending.size() >= kFlushBytes) flush_pending();
   }
@@ -145,6 +157,8 @@ bool TraceSink::open(const std::string& path) {
   impl_->pending_events = 0;
   impl_->durable_bytes = 0;
   impl_->first_event = true;
+  impl_->ring.clear();
+  impl_->ring_next = 0;
   impl_->open_ns.store(steady_ns(), std::memory_order_relaxed);
   impl_->enabled.store(true, std::memory_order_relaxed);
 
@@ -199,6 +213,20 @@ void TraceSink::merge(TraceBuffer& buffer) {
   if (lines.empty()) return;
   std::lock_guard lock(impl_->mutex);
   for (const std::string& line : lines) impl_->append(line);
+}
+
+std::vector<std::string> TraceSink::recent(std::size_t last_n) const {
+  std::lock_guard lock(impl_->mutex);
+  const std::size_t stored = impl_->ring.size();
+  const std::size_t n = std::min(last_n, stored);
+  std::vector<std::string> out;
+  out.reserve(n);
+  // Once the ring has wrapped (stored == capacity) the oldest line sits at
+  // ring_next; before that it is index 0.
+  const std::size_t oldest = stored == kRingCapacity ? impl_->ring_next : 0;
+  for (std::size_t k = 0; k < n; ++k)
+    out.push_back(impl_->ring[(oldest + (stored - n) + k) % stored]);
+  return out;
 }
 
 // ------------------------------------------------------------------------

@@ -75,6 +75,12 @@ class TraceSink {
   /// hook so event order is shard-deterministic.
   void merge(TraceBuffer& buffer);
 
+  /// The most recent `last_n` recorded event lines (oldest first), from a
+  /// bounded in-memory ring the sink keeps alongside the file — the
+  /// statusd `/trace?last=N` source. Empty when no trace is collecting;
+  /// the ring is cleared by open(). Thread-safe.
+  [[nodiscard]] std::vector<std::string> recent(std::size_t last_n) const;
+
  private:
   TraceSink();
   struct Impl;

@@ -1,0 +1,398 @@
+// The embedded status server, bottom to top: ProgressRegistry semantics,
+// the Prometheus renderer, the request router (no sockets), the real
+// HTTP/1.1 transport (timeouts, oversized requests, port-in-use soft
+// degradation) — and the layer's hard invariant: a spilled multi-shard
+// search scraped in a tight client loop produces certificates, incumbent
+// logs and checkpoints byte-identical to an unobserved serial run.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "test_paths.hpp"
+#include "exp/search_driver.hpp"
+#include "support/statusd.hpp"
+#include "support/telemetry.hpp"
+#include "support/trace.hpp"
+
+namespace aurv {
+namespace {
+
+namespace statusd = support::statusd;
+namespace telemetry = support::telemetry;
+using exp::SearchOptions;
+using exp::SearchSpec;
+using numeric::Rational;
+using support::Json;
+using testpaths::copy_dir;
+using testpaths::fresh_dir;
+using testpaths::slurp;
+using testpaths::temp_path;
+
+// ------------------------------------------------------------- helpers --
+
+/// One blocking HTTP GET against the loopback server: full raw response
+/// (status line + headers + body), or "" when the connection yields no
+/// bytes (refused, or dropped by a server-side timeout).
+std::string http_get(int port, const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &address.sin_addr);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&address), sizeof(address)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request = "GET " + target + " HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n";
+  (void)::send(fd, request.data(), request.size(), 0);
+  std::string response;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (got <= 0) break;
+    response.append(chunk, static_cast<std::size_t>(got));
+  }
+  ::close(fd);
+  return response;
+}
+
+bool contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+// --------------------------------------------------- progress registry --
+
+TEST(StatusdProgress, CollectEmbedsProvidersAndIsolatesFailures) {
+  const statusd::ScopedProgress good("unit_good", [] {
+    Json value = Json::object();
+    value.set("done", Json(std::uint64_t{7}));
+    return value;
+  });
+  const statusd::ScopedProgress bad("unit_bad",
+                                    []() -> Json { throw std::runtime_error("provider broke"); });
+  const Json collected = statusd::progress().collect();
+  EXPECT_EQ(collected.at("unit_good").at("done").as_uint(), 7u);
+  EXPECT_TRUE(contains(collected.at("unit_bad").at("error").as_string(), "provider broke"));
+}
+
+TEST(StatusdProgress, RemoveUnregistersImmediately) {
+  {
+    const statusd::ScopedProgress scoped("unit_transient", [] { return Json::object(); });
+    EXPECT_NE(statusd::progress().collect().find("unit_transient"), nullptr);
+  }
+  EXPECT_EQ(statusd::progress().collect().find("unit_transient"), nullptr);
+}
+
+// ------------------------------------------------- prometheus renderer --
+
+TEST(StatusdPrometheus, RendersCountersGaugesAndRunInfo) {
+  telemetry::registry().reset();
+  telemetry::registry().counter("statusd-test.count").add(3);
+  telemetry::registry().gauge("statusd_test.level").set(-5);
+
+  statusd::RunInfo run;
+  run.kind = "search";
+  run.spec = "spec\"with\\odd\nchars.json";
+  run.fingerprint = "deadbeefdeadbeef";
+  run.threads = 4;
+  const std::string text =
+      statusd::render_prometheus(telemetry::registry().read_snapshot(), run, 1.5);
+
+  EXPECT_TRUE(contains(text,
+                       "aurv_run_info{kind=\"search\",spec=\"spec\\\"with\\\\odd\\nchars.json\","
+                       "fingerprint=\"deadbeefdeadbeef\",threads=\"4\"} 1\n"));
+  EXPECT_TRUE(contains(text, "aurv_uptime_seconds 1.500000000\n"));
+  // Dots and dashes both mangle to underscores; counters carry _total.
+  EXPECT_TRUE(contains(text, "# TYPE aurv_statusd_test_count_total counter\n"));
+  EXPECT_TRUE(contains(text, "aurv_statusd_test_count_total 3\n"));
+  EXPECT_TRUE(contains(text, "aurv_statusd_test_level -5\n"));
+}
+
+TEST(StatusdPrometheus, HistogramBucketsAreCumulativeWithInf) {
+  telemetry::registry().reset();
+  auto& histogram = telemetry::registry().histogram("statusd_test.hist");
+  histogram.record(0);    // bucket le="0"
+  histogram.record(1);    // bucket le="1"
+  histogram.record(5);    // bucket le="7"
+  histogram.record(100);  // bucket le="127"
+  const std::string text =
+      statusd::render_prometheus(telemetry::registry().read_snapshot(), statusd::RunInfo{}, 0.0);
+
+  EXPECT_TRUE(contains(text, "# TYPE aurv_statusd_test_hist histogram\n"));
+  EXPECT_TRUE(contains(text, "aurv_statusd_test_hist_bucket{le=\"0\"} 1\n"));
+  EXPECT_TRUE(contains(text, "aurv_statusd_test_hist_bucket{le=\"1\"} 2\n"));
+  EXPECT_TRUE(contains(text, "aurv_statusd_test_hist_bucket{le=\"7\"} 3\n"));
+  EXPECT_TRUE(contains(text, "aurv_statusd_test_hist_bucket{le=\"127\"} 4\n"));
+  EXPECT_TRUE(contains(text, "aurv_statusd_test_hist_bucket{le=\"+Inf\"} 4\n"));
+  EXPECT_TRUE(contains(text, "aurv_statusd_test_hist_sum 106\n"));
+  EXPECT_TRUE(contains(text, "aurv_statusd_test_hist_count 4\n"));
+}
+
+// ----------------------------------------------------------- routing --
+
+TEST(StatusdRouter, RejectsNonGetAndUnknownPaths) {
+  telemetry::registry().reset();
+  const statusd::Response post = statusd::handle_request("POST", "/metrics", {}, 0.0);
+  EXPECT_EQ(post.status, 405);
+  const statusd::Response missing = statusd::handle_request("GET", "/nope", {}, 0.0);
+  EXPECT_EQ(missing.status, 404);
+  EXPECT_TRUE(contains(missing.body, "/metrics"));  // 404 lists the endpoints
+  EXPECT_GE(telemetry::registry().counter("statusd.requests").value(), 2u);
+}
+
+TEST(StatusdRouter, HealthzReflectsDegradedGauges) {
+  telemetry::registry().reset();
+  const statusd::Response healthy = statusd::handle_request("GET", "/healthz", {}, 0.0);
+  EXPECT_EQ(healthy.status, 200);
+  EXPECT_EQ(healthy.body, "ok\n");
+
+  telemetry::registry().gauge("statusd_test.degraded").set(1);
+  const statusd::Response sick = statusd::handle_request("GET", "/healthz", {}, 0.0);
+  EXPECT_EQ(sick.status, 503);
+  EXPECT_TRUE(contains(sick.body, "statusd_test.degraded"));
+  telemetry::registry().gauge("statusd_test.degraded").set(0);
+}
+
+TEST(StatusdRouter, StatusEmbedsRunAndProviders) {
+  telemetry::registry().reset();
+  statusd::RunInfo run;
+  run.kind = "campaign";
+  run.spec = "scenario.json";
+  run.fingerprint = "0123456789abcdef";
+  run.threads = 2;
+  const statusd::ScopedProgress scoped("unit_runner", [] {
+    Json value = Json::object();
+    value.set("jobs_done", Json(std::uint64_t{12}));
+    return value;
+  });
+  const statusd::Response response = statusd::handle_request("GET", "/status", run, 3.0);
+  EXPECT_EQ(response.status, 200);
+  const Json body = Json::parse(response.body);
+  EXPECT_EQ(body.at("kind").as_string(), "campaign");
+  EXPECT_EQ(body.at("fingerprint").as_string(), "0123456789abcdef");
+  EXPECT_EQ(body.at("threads").as_uint(), 2u);
+  EXPECT_EQ(body.at("progress").at("unit_runner").at("jobs_done").as_uint(), 12u);
+}
+
+TEST(StatusdRouter, TraceEndpointNeedsAnOpenSink) {
+  support::trace::sink().close();
+  const statusd::Response off = statusd::handle_request("GET", "/trace", {}, 0.0);
+  EXPECT_EQ(off.status, 404);
+
+  ASSERT_TRUE(support::trace::sink().open(temp_path("statusd_router_trace.json")));
+  support::trace::sink().emit(R"({"name":"a","cat":"t","ph":"X","ts":1,"dur":2,"pid":1,"tid":0})");
+  support::trace::sink().emit(R"({"name":"b","cat":"t","ph":"X","ts":3,"dur":4,"pid":1,"tid":0})");
+  const statusd::Response two = statusd::handle_request("GET", "/trace?last=2", {}, 0.0);
+  EXPECT_EQ(two.status, 200);
+  const Json spans = Json::parse(two.body).at("spans");
+  ASSERT_EQ(spans.as_array().size(), 2u);
+  EXPECT_EQ(spans.as_array()[0].at("name").as_string(), "a");
+  EXPECT_EQ(spans.as_array()[1].at("name").as_string(), "b");
+
+  const statusd::Response bad = statusd::handle_request("GET", "/trace?last=bogus", {}, 0.0);
+  EXPECT_EQ(bad.status, 400);
+  support::trace::sink().close();
+}
+
+// ---------------------------------------------------------- transport --
+
+TEST(StatusdServer, ServesAllEndpointsOverHttp) {
+  telemetry::registry().reset();
+  telemetry::registry().counter("statusd_test.live").add(1);
+  statusd::Config config;
+  config.run.kind = "search";
+  config.run.fingerprint = "feedfacefeedface";
+  const auto server = statusd::StatusServer::start(std::move(config));
+  ASSERT_NE(server, nullptr);
+  EXPECT_GT(server->port(), 0);
+
+  const std::string health = http_get(server->port(), "/healthz");
+  EXPECT_TRUE(contains(health, "200 OK"));
+  EXPECT_TRUE(contains(health, "ok\n"));
+
+  const std::string metrics = http_get(server->port(), "/metrics");
+  EXPECT_TRUE(contains(metrics, "text/plain; version=0.0.4"));
+  EXPECT_TRUE(contains(metrics, "aurv_statusd_test_live_total 1\n"));
+  EXPECT_TRUE(contains(metrics, "fingerprint=\"feedfacefeedface\""));
+
+  const std::string status = http_get(server->port(), "/status");
+  EXPECT_TRUE(contains(status, "application/json"));
+  EXPECT_TRUE(contains(status, "\"kind\": \"search\""));
+}
+
+TEST(StatusdServer, PortInUseDegradesSoft) {
+  telemetry::registry().reset();
+  const auto first = statusd::StatusServer::start({});
+  ASSERT_NE(first, nullptr);
+
+  statusd::Config clashing;
+  clashing.port = first->port();
+  const auto second = statusd::StatusServer::start(std::move(clashing));
+  EXPECT_EQ(second, nullptr);
+  EXPECT_EQ(telemetry::registry().counter("statusd.dropped").value(), 1u);
+  // The first server is unaffected by the failed bind.
+  EXPECT_TRUE(contains(http_get(first->port(), "/healthz"), "200 OK"));
+}
+
+TEST(StatusdServer, SlowClientTimesOutWithoutWedgingService) {
+  statusd::Config config;
+  config.read_timeout_ms = 100;
+  config.write_timeout_ms = 100;
+  const auto server = statusd::StatusServer::start(std::move(config));
+  ASSERT_NE(server, nullptr);
+
+  // A client that connects and never sends: the server must drop it at
+  // the read deadline and get back to serving.
+  const int stalled = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(stalled, 0);
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(static_cast<std::uint16_t>(server->port()));
+  ::inet_pton(AF_INET, "127.0.0.1", &address.sin_addr);
+  ASSERT_EQ(::connect(stalled, reinterpret_cast<const sockaddr*>(&address), sizeof(address)), 0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));  // let accept() pick it up
+
+  const std::string after = http_get(server->port(), "/healthz");
+  EXPECT_TRUE(contains(after, "200 OK")) << "server wedged behind a stalled client";
+
+  char byte = 0;
+  EXPECT_LE(::recv(stalled, &byte, 1, 0), 0);  // dropped without a response
+  ::close(stalled);
+}
+
+TEST(StatusdServer, OversizedRequestIsRejected) {
+  statusd::Config config;
+  config.max_request_bytes = 64;
+  const auto server = statusd::StatusServer::start(std::move(config));
+  ASSERT_NE(server, nullptr);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(static_cast<std::uint16_t>(server->port()));
+  ::inet_pton(AF_INET, "127.0.0.1", &address.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&address), sizeof(address)), 0);
+  const std::string flood = "GET /" + std::string(200, 'A');  // no header terminator
+  (void)::send(fd, flood.data(), flood.size(), 0);
+  std::string response;
+  char chunk[1024];
+  for (;;) {
+    const ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (got <= 0) break;
+    response.append(chunk, static_cast<std::size_t>(got));
+  }
+  ::close(fd);
+  EXPECT_TRUE(contains(response, "400"));
+}
+
+// -------------------------------------------------------- determinism --
+
+/// The same fast tuple-space spec the telemetry/spill determinism tests
+/// use: 48 boxes in waves of 8 — several waves, several incumbents.
+SearchSpec search_spec() {
+  SearchSpec spec;
+  spec.name = "test_statusd_search";
+  spec.algorithm = "aurv";
+  spec.objective = "max-meet-time";
+  spec.space.family = search::SearchSpace::Family::Tuple;
+  spec.space.chi = -1;
+  spec.space.fixed = {{"r", Rational(1)},
+                      {"y", Rational(numeric::BigInt(6), numeric::BigInt(5))},
+                      {"phi", Rational(0)}};
+  spec.space.dim_names = {"x", "t"};
+  spec.box = {search::Interval{Rational(numeric::BigInt(3), numeric::BigInt(2)),
+                               Rational(numeric::BigInt(7), numeric::BigInt(2))},
+              search::Interval{Rational(0), Rational(3)}};
+  spec.limits.max_boxes = 48;
+  spec.limits.wave_size = 8;
+  spec.limits.min_width = Rational(numeric::BigInt(1), numeric::BigInt(64));
+  spec.engine.max_events = 2'000'000;
+  spec.engine.horizon = Rational(256);
+  return spec;
+}
+
+/// (relative path, bytes) of every regular file under `dir`, sorted —
+/// the whole-directory byte-identity primitive.
+std::map<std::string, std::string> dir_bytes(const std::string& dir) {
+  std::map<std::string, std::string> files;
+  for (const auto& entry : std::filesystem::recursive_directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    files[std::filesystem::relative(entry.path(), dir).string()] = slurp(entry.path().string());
+  }
+  return files;
+}
+
+TEST(StatusdDeterminism, ArtifactsByteIdenticalUnderScraping) {
+  const SearchSpec spec = search_spec();
+  // Checkpoints may embed the paths they were asked to write, so both
+  // runs use the *same* option paths; the baseline is stashed between.
+  const std::string log_path = temp_path("statusd_det.jsonl");
+  const std::string ckpt_leaf = "statusd_det_ckpt";
+  const std::string spill_leaf = "statusd_det_spill";
+
+  SearchOptions options;
+  options.max_shards = 1;
+  options.incumbent_log_path = log_path;
+  options.checkpoint_path = fresh_dir(ckpt_leaf) + "/base.json";
+  options.checkpoint_every = 2;
+  options.spill_dir = fresh_dir(spill_leaf);
+  options.frontier_mem = 2;
+
+  // Baseline: serial, spilled, checkpointed, unobserved.
+  telemetry::registry().reset();
+  const exp::SearchRunResult baseline = exp::run_search(spec, options);
+  const std::string baseline_certificate = baseline.certificate(spec).dump(2);
+  const std::string baseline_log = slurp(log_path);
+  const std::string stash = temp_path("statusd_det_ckpt_stash");
+  copy_dir(temp_path(ckpt_leaf), stash);
+
+  // Observed: 4 shards, the status server up, and a client hammering all
+  // four endpoints in a tight loop for the whole run.
+  telemetry::registry().reset();
+  options.max_shards = 4;
+  (void)fresh_dir(ckpt_leaf);
+  (void)fresh_dir(spill_leaf);
+  statusd::Config config;
+  config.run.kind = "search";
+  config.run.fingerprint = "0";
+  config.run.threads = 4;
+  const auto server = statusd::StatusServer::start(std::move(config));
+  ASSERT_NE(server, nullptr);
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> scrapes{0};
+  std::thread scraper([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (const char* target : {"/metrics", "/status", "/healthz", "/trace?last=8"}) {
+        if (!http_get(server->port(), target).empty()) {
+          scrapes.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  });
+  const exp::SearchRunResult observed = exp::run_search(spec, options);
+  stop.store(true, std::memory_order_relaxed);
+  scraper.join();
+
+  EXPECT_EQ(observed.certificate(spec).dump(2), baseline_certificate);
+  EXPECT_EQ(slurp(log_path), baseline_log);
+  EXPECT_EQ(dir_bytes(temp_path(ckpt_leaf)), dir_bytes(stash))
+      << "checkpoint bytes must not see the observer";
+  EXPECT_GT(scrapes.load(), 0u) << "the server was never actually scraped";
+}
+
+}  // namespace
+}  // namespace aurv
