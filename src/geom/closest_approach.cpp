@@ -3,7 +3,118 @@
 #include <algorithm>
 #include <cmath>
 
+#include "numeric/filter.hpp"
+
 namespace aurv::geom {
+
+namespace {
+
+using numeric::certified_sign;
+using numeric::Filtered;
+using numeric::FInterval;
+using numeric::SignClass;
+
+// Every *decision* below (inside the disk? approaching? does the quadratic
+// touch the window?) is made exactly: the interval tier certifies it when
+// it can, and an exact evaluation over the input doubles — which are exact
+// dyadic rationals — settles it otherwise. The returned *values* (contact
+// times) remain the same double formulas as before; only branch outcomes
+// are exact, which is what the engine's correctness depends on.
+
+template <typename ExactFn>
+int resolve_sign(const FInterval& filtered, ExactFn&& exact) {
+  if (const auto certified = certified_sign(filtered)) {
+    switch (*certified) {
+      case SignClass::kNegative: return -1;
+      case SignClass::kZero: return 0;
+      case SignClass::kPositive: return 1;
+    }
+  }
+  return exact().sign();
+}
+
+Filtered product(double x, double y) {
+  Filtered result = Filtered::from_double(x);
+  result *= Filtered::from_double(y);
+  return result;
+}
+
+/// Exact c = |offset|^2 - radius^2: negative inside the disk.
+Filtered exact_c(Vec2 offset, double radius) {
+  Filtered result = product(offset.x, offset.x);
+  result += product(offset.y, offset.y);
+  result -= product(radius, radius);
+  return result;
+}
+
+/// Exact b = offset . v: negative while the agents approach each other.
+Filtered exact_b(Vec2 offset, Vec2 velocity) {
+  Filtered result = product(offset.x, velocity.x);
+  result += product(offset.y, velocity.y);
+  return result;
+}
+
+Filtered exact_v2(Vec2 velocity) {
+  Filtered result = product(velocity.x, velocity.x);
+  result += product(velocity.y, velocity.y);
+  return result;
+}
+
+/// Exact discriminant b^2 - |v|^2 c of v2 s^2 + 2 b s + c.
+Filtered exact_discriminant(Vec2 offset, Vec2 velocity, double radius) {
+  Filtered result = exact_b(offset, velocity);
+  result *= exact_b(offset, velocity);
+  Filtered subtrahend = exact_v2(velocity);
+  subtrahend *= exact_c(offset, radius);
+  result -= subtrahend;
+  return result;
+}
+
+/// Exact q(w) = v2 w^2 + 2 b w + c: the squared clearance at the window end
+/// (<= 0 iff the agents are within the disk at s = duration).
+Filtered exact_q_at(Vec2 offset, Vec2 velocity, double radius, double duration) {
+  Filtered result = exact_v2(velocity);
+  result *= Filtered::from_double(duration);
+  Filtered linear = exact_b(offset, velocity);
+  linear *= Filtered::from_double(2.0);
+  result += linear;
+  result *= Filtered::from_double(duration);
+  result += exact_c(offset, radius);
+  return result;
+}
+
+/// Exact v2 w + b: >= 0 iff the parabola's vertex s* = -b / v2 lies at or
+/// before the window end.
+Filtered exact_vertex_margin(Vec2 offset, Vec2 velocity, double duration) {
+  Filtered result = exact_v2(velocity);
+  result *= Filtered::from_double(duration);
+  result += exact_b(offset, velocity);
+  return result;
+}
+
+// Interval legs of the quadratic, built from single-TwoProd point products
+// (FInterval::product) — an order of magnitude cheaper than general interval
+// multiplies, and computed lazily so the common early exits (already in
+// contact, receding) pay for only the legs they actually test.
+
+/// |offset|^2 - radius^2.
+FInterval iv_c(Vec2 offset, double radius) {
+  return FInterval::product(offset.x, offset.x) + FInterval::product(offset.y, offset.y) -
+         FInterval::product(radius, radius);
+}
+
+/// offset . v.
+FInterval iv_b(Vec2 offset, Vec2 velocity) {
+  return FInterval::product(offset.x, velocity.x) + FInterval::product(offset.y, velocity.y);
+}
+
+/// |v|^2.
+FInterval iv_v2(Vec2 velocity) {
+  return FInterval::product(velocity.x, velocity.x) +
+         FInterval::product(velocity.y, velocity.y);
+}
+
+}  // namespace
 
 ApproachResult closest_approach(Vec2 offset, Vec2 relative_velocity, double duration) noexcept {
   const double v2 = relative_velocity.norm2();
@@ -19,47 +130,98 @@ ApproachResult closest_approach(Vec2 offset, Vec2 relative_velocity, double dura
 
 std::optional<double> first_contact(Vec2 offset, Vec2 relative_velocity, double radius,
                                     double duration) noexcept {
-  if (offset.norm2() <= radius * radius) return 0.0;
+  const FInterval c_iv = iv_c(offset, radius);
+  const int c_sign =
+      resolve_sign(c_iv, [&] { return exact_c(offset, radius); });
+  if (c_sign <= 0) return 0.0;  // already in contact
   const double v2 = relative_velocity.norm2();
   if (v2 <= 0.0 || duration <= 0.0) return std::nullopt;
   // Solve |offset + s v|^2 = radius^2:
   //   v2 s^2 + 2 b s + c = 0, b = offset.v, c = |offset|^2 - radius^2 (> 0 here).
+  const FInterval b_iv = iv_b(offset, relative_velocity);
+  const int b_sign =
+      resolve_sign(b_iv, [&] { return exact_b(offset, relative_velocity); });
+  if (b_sign >= 0) return std::nullopt;  // moving apart; distance only grows
+  const FInterval v2_iv = iv_v2(relative_velocity);
+  const int d_sign = resolve_sign(
+      b_iv * b_iv - v2_iv * c_iv,
+      [&] { return exact_discriminant(offset, relative_velocity, radius); });
+  if (d_sign < 0) return std::nullopt;  // the disk is never reached
+  // Window containment of the smaller root: s1 <= w iff the vertex lies in
+  // the window (v2 w + b >= 0) or the window end is already inside the disk
+  // (q(w) <= 0). Rational-decidable — no square root needed for the branch.
+  const FInterval w = FInterval::point(duration);
+  const int vertex_sign =
+      resolve_sign(v2_iv * w + b_iv,
+                   [&] { return exact_vertex_margin(offset, relative_velocity, duration); });
+  if (vertex_sign < 0) {
+    const int qw_sign = resolve_sign(
+        (v2_iv * w + FInterval::point(2.0) * b_iv) * w + c_iv,
+        [&] { return exact_q_at(offset, relative_velocity, radius, duration); });
+    if (qw_sign > 0) return std::nullopt;  // vertex and window-end both clear
+  }
+  // Contact certified inside the window; the reported time is the same
+  // numerically stable double root as before, clamped to the certificate.
   const double b = offset.dot(relative_velocity);
-  if (b >= 0.0) return std::nullopt;  // moving apart; distance only grows
   const double c = offset.norm2() - radius * radius;
   const double discriminant = b * b - v2 * c;
-  if (discriminant < 0.0) return std::nullopt;
-  // Numerically stable smaller root of the upward parabola: with b < 0,
-  // s1 = (-b - sqrt(D)) / v2 = c / (-b + sqrt(D)).
-  const double sqrt_d = std::sqrt(discriminant);
+  const double sqrt_d = std::sqrt(std::max(discriminant, 0.0));
   const double s1 = c / (-b + sqrt_d);
-  if (s1 < 0.0) return 0.0;  // guards tiny negative round-off
-  if (s1 > duration) return std::nullopt;
+  if (!(s1 > 0.0)) return 0.0;  // guards tiny negative round-off (and NaN)
+  if (s1 > duration) return duration;  // round-off past the certified window
   return s1;
 }
 
 std::optional<ContactInterval> contact_interval(Vec2 offset, Vec2 relative_velocity,
                                                 double radius, double duration) noexcept {
+  const FInterval c_iv = iv_c(offset, radius);
+  const int c_sign = resolve_sign(c_iv, [&] { return exact_c(offset, radius); });
+  const bool inside_now = c_sign <= 0;
   const double v2 = relative_velocity.norm2();
-  const bool inside_now = offset.norm2() <= radius * radius;
   if (v2 <= 0.0 || duration <= 0.0) {
     if (inside_now) return ContactInterval{0.0, duration};
     return std::nullopt;
   }
   // Roots of v2 s^2 + 2 b s + c = 0 with c = |offset|^2 - radius^2.
-  const double b = offset.dot(relative_velocity);
-  const double c = offset.norm2() - radius * radius;
-  const double discriminant = b * b - v2 * c;
-  if (discriminant < 0.0) {
-    if (inside_now) return ContactInterval{0.0, duration};  // grazing round-off
+  const FInterval b_iv = iv_b(offset, relative_velocity);
+  const FInterval v2_iv = iv_v2(relative_velocity);
+  const int d_sign = resolve_sign(
+      b_iv * b_iv - v2_iv * c_iv,
+      [&] { return exact_discriminant(offset, relative_velocity, radius); });
+  if (d_sign < 0) {
+    if (inside_now) return ContactInterval{0.0, duration};  // exactly impossible: c <= 0 forces D >= 0
     return std::nullopt;
   }
-  const double sqrt_d = std::sqrt(discriminant);
+  // Overlap of [enter, exit] with [0, w], decided exactly:
+  //   exit < 0  iff  b > 0 and c > 0 (both roots negative);
+  //   enter > w iff  the vertex is past the window (v2 w + b < 0) and the
+  //                  window end is still clear (q(w) > 0).
+  if (!inside_now) {
+    const int b_sign =
+        resolve_sign(b_iv, [&] { return exact_b(offset, relative_velocity); });
+    if (b_sign > 0) return std::nullopt;  // c > 0 here, so the disk is behind us
+  }
+  const FInterval w = FInterval::point(duration);
+  const int vertex_sign =
+      resolve_sign(v2_iv * w + b_iv,
+                   [&] { return exact_vertex_margin(offset, relative_velocity, duration); });
+  if (vertex_sign < 0) {
+    const int qw_sign = resolve_sign(
+        (v2_iv * w + FInterval::point(2.0) * b_iv) * w + c_iv,
+        [&] { return exact_q_at(offset, relative_velocity, radius, duration); });
+    if (qw_sign > 0) return std::nullopt;
+  }
+  // Overlap certified; endpoints are the same double roots as before,
+  // clamped into the certified window.
+  const double b = offset.dot(relative_velocity);
+  const double discriminant =
+      b * b - v2 * (offset.norm2() - radius * radius);
+  const double sqrt_d = std::sqrt(std::max(discriminant, 0.0));
   const double enter = (-b - sqrt_d) / v2;
   const double exit = (-b + sqrt_d) / v2;
-  const double lo = std::max(0.0, enter);
-  const double hi = std::min(duration, exit);
-  if (lo > hi) return std::nullopt;
+  double lo = std::clamp(enter, 0.0, duration);
+  double hi = std::clamp(exit, 0.0, duration);
+  if (lo > hi) lo = hi;  // round-off in a certified-overlap corner
   return ContactInterval{lo, hi};
 }
 

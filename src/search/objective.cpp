@@ -8,22 +8,25 @@
 
 #include "core/feasibility.hpp"
 #include "geom/angle.hpp"
+#include "numeric/filter.hpp"
 #include "support/check.hpp"
 
 namespace aurv::search {
 
+using numeric::FInterval;
 using numeric::Rational;
 using support::Json;
 
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
-/// Outward slop for bounds computed in double arithmetic over exact
-/// rational intervals: pruning decisions stay on the safe side of round-off.
-/// The absolute floor covers tiny magnitudes; the relative term (~4500 ulps)
-/// keeps the margin conservative at large coordinates, where each
-/// Rational::to_double rounds by up to half an ulp of the *value* and a
-/// fixed absolute slop would be overtaken by round-off.
+/// Outward slop for the *transcendental* legs of a bound (hypot, cos, sin)
+/// and for core::classify's plain-double slack evaluation, neither of which
+/// the outward-rounded FInterval arithmetic can certify. Rational-derived
+/// endpoints and the +/-/* combining them need no slop — FInterval rounds
+/// those outward by construction. The absolute floor covers tiny
+/// magnitudes; the relative term keeps the margin conservative at large
+/// coordinates where a fixed absolute slop would be overtaken by round-off.
 constexpr double kBoundSlop = 1e-9;
 constexpr double kRelBoundSlop = 1e-12;
 double bound_slop(double magnitude) { return kBoundSlop + kRelBoundSlop * std::fabs(magnitude); }
@@ -56,23 +59,11 @@ const std::vector<ParamDefault>& defaults_of(SearchSpace::Family family) {
   throw std::logic_error("SearchSpace: unknown family");
 }
 
-/// Double view of an exact interval (endpoints are exact; the view is the
-/// nearest-double image, which the kBoundSlop margins absorb).
-struct DInterval {
-  double lo;
-  double hi;
-};
-
-DInterval view(const Interval& interval) {
-  return {interval.lo.to_double(), interval.hi.to_double()};
-}
-
-/// Interval of |x| over [lo, hi].
-DInterval abs_interval(DInterval x) {
-  const double alo = std::fabs(x.lo);
-  const double ahi = std::fabs(x.hi);
-  if (x.lo <= 0.0 && x.hi >= 0.0) return {0.0, std::max(alo, ahi)};
-  return {std::min(alo, ahi), std::max(alo, ahi)};
+/// Sound double enclosure of an exact rational interval: each endpoint is
+/// outward-rounded by FInterval::enclose, so the hull contains every value
+/// of [lo, hi] with no ad-hoc slop.
+FInterval view(const Interval& interval) {
+  return hull(FInterval::enclose(interval.lo), FInterval::enclose(interval.hi));
 }
 
 }  // namespace
@@ -365,12 +356,12 @@ class SimObjective : public Objective {
   /// Interval of one per-agent radius over `box`: the space's r_a/r_b
   /// dimension if searched or pinned there, else the engine config's
   /// override, else the instance radius r.
-  [[nodiscard]] DInterval per_agent_radius_interval(const ParamBox& box, const char* which,
+  [[nodiscard]] FInterval per_agent_radius_interval(const ParamBox& box, const char* which,
                                                     const std::optional<double>& override)
       const {
     if (space_.family == SearchSpace::Family::Tuple && space_.specifies(which))
       return view(space_.param_interval(which, box));
-    if (override) return {*override, *override};
+    if (override) return FInterval::point(*override);
     return view(space_.param_interval("r", box));
   }
 
@@ -378,10 +369,10 @@ class SimObjective : public Objective {
   /// distance at which a run succeeds, and the radius the Theorem 3.1
   /// necessity argument holds for under Section 5 distinct radii (meeting
   /// requires the distance to reach the *smaller* radius).
-  [[nodiscard]] DInterval rendezvous_radius_interval(const ParamBox& box) const {
-    const DInterval r_a = per_agent_radius_interval(box, "r_a", config_.r_a);
-    const DInterval r_b = per_agent_radius_interval(box, "r_b", config_.r_b);
-    return {std::min(r_a.lo, r_b.lo), std::min(r_a.hi, r_b.hi)};
+  [[nodiscard]] FInterval rendezvous_radius_interval(const ParamBox& box) const {
+    const FInterval r_a = per_agent_radius_interval(box, "r_a", config_.r_a);
+    const FInterval r_b = per_agent_radius_interval(box, "r_b", config_.r_b);
+    return min(r_a, r_b);
   }
 
   /// Interval of the Theorem 3.1 boundary slack t - (d - r) over `box` for
@@ -389,14 +380,16 @@ class SimObjective : public Objective {
   /// feasibility pruning, the instance r for the analytic boundary
   /// distance), where d is dist (chi = +1, phi pinned to 0) or
   /// dist(projA, projB) (chi = -1). Valid only for synchronous tuple
-  /// spaces. The returned interval is already widened outward by
-  /// bound_slop of the largest participating magnitude, so it stays
-  /// conservative under double round-off at any coordinate scale.
-  [[nodiscard]] DInterval slack_interval(const ParamBox& box, const DInterval& r) const {
-    const DInterval t = view(space_.param_interval("t", box));
-    const DInterval x = abs_interval(view(space_.param_interval("x", box)));
-    const DInterval y = abs_interval(view(space_.param_interval("y", box)));
-    DInterval d{0.0, std::hypot(x.hi, y.hi)};  // 0 <= d <= dist_hi always
+  /// spaces. The t/r legs and the t - d + r combination are outward-rounded
+  /// FInterval arithmetic (no slop needed); the distance leg d runs through
+  /// hypot and, for fixed phi, cos/sin — so d alone is widened by
+  /// bound_slop before combining, which also absorbs core::classify's
+  /// plain-double slack evaluation on the boundary-distance path.
+  [[nodiscard]] FInterval slack_interval(const ParamBox& box, const FInterval& r) const {
+    const FInterval t = view(space_.param_interval("t", box));
+    const FInterval x = view(space_.param_interval("x", box)).abs();
+    const FInterval y = view(space_.param_interval("y", box)).abs();
+    FInterval d{0.0, std::hypot(x.hi, y.hi)};  // 0 <= d <= dist_hi always
     const Interval phi = space_.param_interval("phi", box);
     if (space_.chi == -1) {
       if (phi.is_point()) {
@@ -405,8 +398,8 @@ class SimObjective : public Objective {
         const double half = phi.lo.to_double() / 2.0;
         const double c = std::cos(half);
         const double s = std::sin(half);
-        const DInterval raw_x = view(space_.param_interval("x", box));
-        const DInterval raw_y = view(space_.param_interval("y", box));
+        const FInterval raw_x = view(space_.param_interval("x", box));
+        const FInterval raw_y = view(space_.param_interval("y", box));
         double lo = kInf;
         double hi = -kInf;
         for (const double bx : {raw_x.lo, raw_x.hi}) {
@@ -416,18 +409,19 @@ class SimObjective : public Objective {
             hi = std::max(hi, proj);
           }
         }
-        d = abs_interval({lo, hi});
+        d = FInterval{lo, hi}.abs();
       }
       // Searched phi: keep the conservative d in [0, dist_hi].
     } else {
-      d = DInterval{std::hypot(x.lo, y.lo), std::hypot(x.hi, y.hi)};  // dist itself
+      d = FInterval{std::hypot(x.lo, y.lo), std::hypot(x.hi, y.hi)};  // dist itself
     }
     // The slop magnitude must include the raw coordinate maxima (x.hi,
     // y.hi), not just d.hi: the fixed-phi projection above can cancel to a
-    // tiny d whose round-off error still scales with |b|.
+    // tiny d whose round-off error still scales with |b|. t and r join the
+    // set because classify re-derives the slack from them in doubles.
     const double slop = bound_slop(std::max(
         {std::fabs(t.lo), std::fabs(t.hi), x.hi, y.hi, d.hi, std::fabs(r.lo), std::fabs(r.hi)}));
-    return {t.lo - d.hi + r.lo - slop, t.hi - d.lo + r.hi + slop};
+    return t - d.widened(slop) + r;
   }
 
   /// True when the whole box is provably infeasible under Theorem 3.1
@@ -466,10 +460,10 @@ class MaxMeetTimeObjective final : public SimObjective {
 
   [[nodiscard]] double bound(const ParamBox& box) const override {
     if (provably_infeasible(box)) return -kInf;
-    if (config_.horizon) {
-      const double h = config_.horizon->to_double();
-      return h + bound_slop(h);
-    }
+    // Meet times never exceed the horizon; the outward-rounded enclosure's
+    // upper endpoint dominates every nearest-rounded meet_time (rounding is
+    // monotone), so no slop is needed.
+    if (config_.horizon) return FInterval::enclose(*config_.horizon).hi;
     return kInf;
   }
 };
@@ -490,8 +484,9 @@ class NearMissObjective final : public SimObjective {
   [[nodiscard]] double bound(const ParamBox& box) const override {
     // Distances are nonnegative, so -(clearance) <= rendezvous radius
     // (min(r_a, r_b) with Section 5 overrides, searched or config-fixed).
-    const double radius = rendezvous_radius_interval(box).hi;
-    return radius + bound_slop(radius);
+    // The interval's endpoints are outward-rounded, so .hi dominates every
+    // point's nearest-rounded radius without extra slop.
+    return rendezvous_radius_interval(box).hi;
   }
 };
 
@@ -518,9 +513,8 @@ class BoundaryDistanceObjective final : public SimObjective {
     if (space_.family != SearchSpace::Family::Tuple) return 0.0;  // manifolds: slack == 0
     // The analytic boundary slack (core::classify) is defined on the
     // instance r, not the per-agent overrides — mirror it exactly.
-    const DInterval r = view(space_.param_interval("r", box));
-    const DInterval slack = slack_interval(box, r);  // already slop-widened
-    const DInterval magnitude = abs_interval(slack);
+    const FInterval r = view(space_.param_interval("r", box));
+    const FInterval magnitude = slack_interval(box, r).abs();  // already slop-widened
     return -std::max(0.0, magnitude.lo);
   }
 };
@@ -565,10 +559,9 @@ class MaxGatherTimeObjective final : public Objective {
 
   [[nodiscard]] double bound(const ParamBox& box) const override {
     if (provably_ungatherable(box)) return -kInf;
-    if (config_.horizon) {
-      const double h = config_.horizon->to_double();
-      return h + bound_slop(h);
-    }
+    // Same monotone-rounding argument as max-meet-time: the enclosure's
+    // upper endpoint dominates every nearest-rounded gather_time.
+    if (config_.horizon) return FInterval::enclose(*config_.horizon).hi;
     return kInf;
   }
 
@@ -602,14 +595,15 @@ class MaxGatherTimeObjective final : public Objective {
   /// extreme pair keeps the diameter above *both* policies' success
   /// diameters (r, and (n-1) * r + 1e-6), so no point can score.
   [[nodiscard]] bool provably_ungatherable(const ParamBox& box) const {
-    const DInterval n = view(space_.param_interval("n", box));
+    const FInterval n = view(space_.param_interval("n", box));
     // A box containing n = 1 points contains trivially-gathered points
     // (score 0); the chain argument needs at least one pair.
     if (gather_agent_count(Rational::from_double(n.lo)) < 2) return false;
-    const DInterval spread = abs_interval(view(space_.param_interval("spread", box)));
-    const DInterval delay = abs_interval(view(space_.param_interval("delay", box)));
-    const DInterval r = view(space_.param_interval("r", box));
-    const double gap_floor = spread.lo - delay.hi;
+    const FInterval spread = view(space_.param_interval("spread", box)).abs();
+    const FInterval delay = view(space_.param_interval("delay", box)).abs();
+    const FInterval r = view(space_.param_interval("r", box));
+    // Downward-rounded floor of |spread| - |delay| over the box.
+    const double gap_floor = (spread - delay).lo;
     // Margins: contact_slack + the engine's 1e-9 freeze slop + the 1e-6
     // FirstSight success-diameter slack, all widened by bound_slop.
     const double margin = config_.contact_slack + 1e-6 +
